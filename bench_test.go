@@ -1,0 +1,86 @@
+package pradram_test
+
+import (
+	"testing"
+
+	"pradram"
+)
+
+// Each paper table/figure has a bench that regenerates it on a reduced
+// budget (the praexp command runs the full-budget versions). The
+// experiment runner memoizes simulation results, so iterations beyond the
+// first are nearly free and the reported ns/op reflects one full
+// regeneration.
+func benchExperiment(b *testing.B, id string, instr, warmup int64) {
+	b.Helper()
+	runner := pradram.NewRunner(pradram.ExpOptions{Instr: instr, Warmup: warmup, Seed: 1})
+	exp, err := pradram.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := exp.Run(runner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+// benchBudget is the per-core instruction budget for bench-mode
+// experiments: large enough for the shapes to emerge, small enough that
+// the full bench suite stays in CI territory.
+const (
+	benchInstr  = 40_000
+	benchWarmup = 80_000
+)
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1", benchInstr, benchWarmup) }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2", benchInstr, benchWarmup) }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3", benchInstr, benchWarmup) }
+func BenchmarkFig2(b *testing.B)   { benchExperiment(b, "fig2", benchInstr, benchWarmup) }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3", benchInstr, benchWarmup) }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9", benchInstr, benchWarmup) }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10", benchInstr, benchWarmup) }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11", benchInstr, benchWarmup) }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12", benchInstr, benchWarmup) }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13", benchInstr, benchWarmup) }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14", benchInstr, benchWarmup) }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15", benchInstr, benchWarmup) }
+
+func BenchmarkSec3Coverage(b *testing.B) { benchExperiment(b, "sec3cov", benchInstr, benchWarmup) }
+func BenchmarkAblation(b *testing.B)     { benchExperiment(b, "ablation", benchInstr, benchWarmup) }
+
+// BenchmarkSimThroughput measures raw simulator speed: simulated
+// instructions per wall second for the 4-core GUPS baseline.
+func BenchmarkSimThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := pradram.DefaultConfig("GUPS")
+		cfg.InstrPerCore = 50_000
+		res, err := pradram.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Cycles), "cycles/run")
+	}
+	b.ReportMetric(float64(b.N*4*50_000), "instructions")
+}
+
+// BenchmarkSchemes reports per-scheme simulation cost on one mix.
+func BenchmarkSchemes(b *testing.B) {
+	for _, s := range []pradram.Scheme{pradram.Baseline, pradram.PRA, pradram.HalfDRAMPRA} {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := pradram.DefaultConfig("MIX1")
+				cfg.Scheme = s
+				cfg.InstrPerCore = 40_000
+				if _, err := pradram.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

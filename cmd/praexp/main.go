@@ -1,0 +1,74 @@
+// Command praexp regenerates the tables and figures of "Partial Row
+// Activation for Low-Power DRAM System" (HPCA 2017) on the Go
+// reproduction. Each experiment prints a plain-text table with the paper's
+// published numbers alongside for comparison.
+//
+// Usage:
+//
+//	praexp -exp fig12              # one experiment
+//	praexp -exp all                # everything, in paper order
+//	praexp -list                   # enumerate experiment IDs
+//	praexp -exp fig13 -instr 2000000 -warmup 1000000
+//
+// Simulation-backed experiments share a memoized run cache within one
+// invocation, so "-exp all" pays for each (workload, scheme, policy)
+// configuration once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pradram/internal/sim"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		instr  = flag.Int64("instr", 400_000, "measured instructions per core")
+		warmup = flag.Int64("warmup", 400_000, "warmup instructions per core")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range sim.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	runner := sim.NewRunner(sim.ExpOptions{Instr: *instr, Warmup: *warmup, Seed: *seed})
+
+	run := func(e sim.Experiment) error {
+		start := time.Now()
+		out, err := e.Run(runner)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("== %s: %s ==\n%s(%s, %v)\n\n", e.ID, e.Title, out, e.ID, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if *expID == "all" {
+		for _, e := range sim.Experiments() {
+			if err := run(e); err != nil {
+				fmt.Fprintln(os.Stderr, "praexp:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, err := sim.ExperimentByID(*expID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "praexp:", err)
+		os.Exit(1)
+	}
+	if err := run(e); err != nil {
+		fmt.Fprintln(os.Stderr, "praexp:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,185 @@
+// Command prasim runs one workload on one DRAM scheme and prints the
+// measured statistics: performance, row-buffer behaviour, activation
+// granularity, and the DRAM power/energy breakdown.
+//
+// Usage:
+//
+//	prasim -workload GUPS -scheme pra
+//	prasim -workload MIX2 -scheme halfdram+pra -policy restricted
+//	prasim -workload libquantum -scheme baseline -instr 2000000 -dbi
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pradram"
+	"pradram/internal/power"
+	"pradram/internal/stats"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "GUPS", "benchmark or MIXn (see -list)")
+		schemeName   = flag.String("scheme", "baseline", "baseline | fga | halfdram | pra | halfdram+pra")
+		policyName   = flag.String("policy", "relaxed", "relaxed | restricted")
+		dbi          = flag.Bool("dbi", false, "enable Dirty-Block-Index proactive writeback")
+		instr        = flag.Int64("instr", 400_000, "measured instructions per core")
+		warmup       = flag.Int64("warmup", 400_000, "warmup instructions per core")
+		cores        = flag.Int("cores", 4, "active cores")
+		seed         = flag.Uint64("seed", 1, "workload seed")
+		list         = flag.Bool("list", false, "list workloads and exit")
+		asJSON       = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		ecc          = flag.Bool("ecc", false, "model an x72 ECC DIMM (Section 4.2)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:", pradram.Workloads())
+		fmt.Println("mixes:     ", pradram.Mixes())
+		return
+	}
+
+	scheme, err := pradram.ParseScheme(*schemeName)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := pradram.ParsePolicy(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := pradram.DefaultConfig(*workloadName)
+	cfg.Scheme = scheme
+	cfg.Policy = policy
+	cfg.DBI = *dbi
+	cfg.ECC = *ecc
+	cfg.InstrPerCore = *instr
+	cfg.WarmupPerCore = *warmup
+	cfg.ActiveCores = *cores
+	cfg.Seed = *seed
+
+	res, err := pradram.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		if err := emitJSON(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("workload %s  scheme %s  policy %s  dbi %v\n", res.Workload, res.Scheme, res.Policy, res.DBI)
+	fmt.Printf("apps: %v\n\n", res.Apps)
+
+	perf := stats.NewTable("core", "app", "IPC")
+	for i, ipc := range res.CoreIPC {
+		perf.Row(i, res.Apps[i], ipc)
+	}
+	fmt.Println(perf.String())
+
+	fmt.Printf("cycles %d  runtime %.1f us  sum-IPC %.3f\n\n", res.Cycles, res.RuntimeNs()/1000, res.SumIPC())
+
+	mem := stats.NewTable("metric", "value")
+	mem.Row("DRAM reads", res.Ctrl.ReadsServed)
+	mem.Row("DRAM writes", res.Ctrl.WritesServed)
+	mem.Row("row hit rate (read)", fmt.Sprintf("%.1f%%", 100*res.RowHitRateRead()))
+	mem.Row("row hit rate (write)", fmt.Sprintf("%.1f%%", 100*res.RowHitRateWrite()))
+	mem.Row("false hits (read)", fmt.Sprintf("%.2f%%", 100*res.FalseHitRateRead()))
+	mem.Row("false hits (write)", fmt.Sprintf("%.2f%%", 100*res.FalseHitRateWrite()))
+	mem.Row("avg read latency", fmt.Sprintf("%.1f ns", res.AvgReadLatencyNs()))
+	mem.Row("activations", res.Dev.Activations())
+	mem.Row("avg act granularity", fmt.Sprintf("%.2f/8", res.Dev.AvgGranularity()))
+	mem.Row("write words on bus", fmt.Sprintf("%d of %d", res.Dev.WordsWritten, res.Dev.WordBudget))
+	mem.Row("refreshes", res.Dev.Refreshes)
+	fmt.Println(mem.String())
+
+	gran := stats.NewTable("granularity", "share")
+	for g := 1; g <= 8; g++ {
+		gran.Row(fmt.Sprintf("%d/8", g), fmt.Sprintf("%.2f%%", 100*res.GranularityShare(g)))
+	}
+	fmt.Println(gran.String())
+
+	pw := stats.NewTable("component", "energy uJ", "share")
+	tot := res.Energy.Total()
+	for c := power.Component(0); c < power.NumComponents; c++ {
+		pw.Row(c.String(), res.Energy[c]/1e6, fmt.Sprintf("%.1f%%", 100*stats.Ratio(res.Energy[c], tot)))
+	}
+	pw.Row("TOTAL", tot/1e6, "100%")
+	fmt.Println(pw.String())
+	fmt.Printf("avg DRAM power %.1f mW   EDP %.3g pJ*ns\n", res.AvgPowerMW(), res.EDP())
+}
+
+// jsonReport is the machine-readable output shape of -json.
+type jsonReport struct {
+	Workload string    `json:"workload"`
+	Scheme   string    `json:"scheme"`
+	Policy   string    `json:"policy"`
+	DBI      bool      `json:"dbi"`
+	Apps     []string  `json:"apps"`
+	Cycles   int64     `json:"cycles"`
+	CoreIPC  []float64 `json:"core_ipc"`
+	SumIPC   float64   `json:"sum_ipc"`
+
+	Reads         int64   `json:"dram_reads"`
+	Writes        int64   `json:"dram_writes"`
+	RowHitRead    float64 `json:"row_hit_read"`
+	RowHitWrite   float64 `json:"row_hit_write"`
+	FalseHitRead  float64 `json:"false_hit_read"`
+	FalseHitWrite float64 `json:"false_hit_write"`
+	AvgReadNs     float64 `json:"avg_read_latency_ns"`
+
+	Activations    int64     `json:"activations"`
+	AvgGranularity float64   `json:"avg_act_granularity"`
+	GranShares     []float64 `json:"act_granularity_shares"`
+
+	EnergyPJ   map[string]float64 `json:"energy_pj"`
+	AvgPowerMW float64            `json:"avg_power_mw"`
+	EDP        float64            `json:"edp_pj_ns"`
+}
+
+func emitJSON(res pradram.Result) error {
+	rep := jsonReport{
+		Workload: res.Workload,
+		Scheme:   res.Scheme.String(),
+		Policy:   res.Policy.String(),
+		DBI:      res.DBI,
+		Apps:     res.Apps,
+		Cycles:   res.Cycles,
+		CoreIPC:  res.CoreIPC,
+		SumIPC:   res.SumIPC(),
+
+		Reads:         res.Ctrl.ReadsServed,
+		Writes:        res.Ctrl.WritesServed,
+		RowHitRead:    res.RowHitRateRead(),
+		RowHitWrite:   res.RowHitRateWrite(),
+		FalseHitRead:  res.FalseHitRateRead(),
+		FalseHitWrite: res.FalseHitRateWrite(),
+		AvgReadNs:     res.AvgReadLatencyNs(),
+
+		Activations:    res.Dev.Activations(),
+		AvgGranularity: res.Dev.AvgGranularity(),
+
+		EnergyPJ:   make(map[string]float64, int(power.NumComponents)),
+		AvgPowerMW: res.AvgPowerMW(),
+		EDP:        res.EDP(),
+	}
+	for g := 1; g <= 8; g++ {
+		rep.GranShares = append(rep.GranShares, res.GranularityShare(g))
+	}
+	for c := power.Component(0); c < power.NumComponents; c++ {
+		rep.EnergyPJ[c.String()] = res.Energy[c]
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command pratrace records DRAM request traces from full-system runs and
+// replays them under different schemes — the fast what-if path: a replay
+// skips the CPU and cache layers entirely and re-schedules the identical
+// request stream on a fresh memory controller.
+//
+// Usage:
+//
+//	pratrace -record gups.trace -workload GUPS -instr 200000
+//	pratrace -replay gups.trace -scheme pra
+//	pratrace -replay gups.trace -compare          # all schemes side by side
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pradram"
+	"pradram/internal/memctrl"
+	"pradram/internal/sim"
+	"pradram/internal/stats"
+	"pradram/internal/trace"
+)
+
+func main() {
+	var (
+		record       = flag.String("record", "", "record a trace from -workload into this file")
+		replay       = flag.String("replay", "", "replay the trace in this file")
+		workloadName = flag.String("workload", "GUPS", "workload to record")
+		schemeName   = flag.String("scheme", "baseline", "scheme for -replay")
+		policyName   = flag.String("policy", "relaxed", "policy for -replay")
+		compare      = flag.Bool("compare", false, "replay under every scheme")
+		instr        = flag.Int64("instr", 200_000, "instructions per core to record")
+		warmup       = flag.Int64("warmup", 300_000, "warmup instructions per core")
+		seed         = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if err := doRecord(*record, *workloadName, *instr, *warmup, *seed); err != nil {
+			fatal(err)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *schemeName, *policyName, *compare); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "pratrace: need -record FILE or -replay FILE")
+		os.Exit(2)
+	}
+}
+
+func doRecord(path, workloadName string, instr, warmup int64, seed uint64) error {
+	cfg := pradram.DefaultConfig(workloadName)
+	cfg.InstrPerCore = instr
+	cfg.WarmupPerCore = warmup
+	cfg.Seed = seed
+	cfg.Capture = true
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return err
+	}
+	tr := sys.Trace()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d requests (%d reads, %d writes) from %s over %d cycles -> %s\n",
+		tr.Len(), res.Ctrl.ReadsServed, res.Ctrl.WritesServed, workloadName, res.Cycles, path)
+	return f.Sync()
+}
+
+func doReplay(path, schemeName, policyName string, compare bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Load(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s: %d requests\n\n", path, tr.Len())
+
+	replayOne := func(s memctrl.Scheme, p memctrl.Policy) (trace.ReplayResult, error) {
+		cfg := memctrl.DefaultConfig()
+		cfg.Scheme = s
+		cfg.Policy = p
+		if p == memctrl.RestrictedClose {
+			cfg.Mapping = memctrl.LineInterleaved
+		}
+		return trace.Replay(tr, cfg)
+	}
+
+	policy, err := pradram.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	table := stats.NewTable("scheme", "cycles", "power mW", "avg gran", "read ns", "vs baseline")
+	addRow := func(name string, r trace.ReplayResult, base *trace.ReplayResult) {
+		rel := ""
+		if base != nil && base.AvgPowerMW() > 0 {
+			rel = fmt.Sprintf("%.3f", r.AvgPowerMW()/base.AvgPowerMW())
+		}
+		table.Row(name, r.Cycles, r.AvgPowerMW(), fmt.Sprintf("%.2f/8", r.Dev.AvgGranularity()), r.AvgReadNs, rel)
+	}
+
+	if !compare {
+		scheme, err := pradram.ParseScheme(schemeName)
+		if err != nil {
+			return err
+		}
+		res, err := replayOne(scheme, policy)
+		if err != nil {
+			return err
+		}
+		addRow(scheme.String(), res, nil)
+		fmt.Print(table.String())
+		return nil
+	}
+	var base *trace.ReplayResult
+	for _, s := range memctrl.Schemes() {
+		res, err := replayOne(s, policy)
+		if err != nil {
+			return err
+		}
+		if base == nil {
+			b := res
+			base = &b
+		}
+		addRow(s.String(), res, base)
+	}
+	fmt.Print(table.String())
+	fmt.Println("\nNote: replays are open-loop (arrival times fixed), so queueing delay is")
+	fmt.Println("amplified relative to the closed-loop full-system simulation.")
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pratrace:", err)
+	os.Exit(1)
+}

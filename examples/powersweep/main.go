@@ -1,0 +1,63 @@
+// Powersweep: the Figure 12/13 story on one workload — sweep every scheme
+// (baseline, FGA, Half-DRAM, PRA, Half-DRAM+PRA) over a chosen workload and
+// report normalized activation power, I/O power, total power, energy, EDP,
+// and performance. Shows where each scheme wins and what it costs.
+//
+//	go run ./examples/powersweep            # default: MIX2
+//	go run ./examples/powersweep omnetpp
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pradram"
+	"pradram/internal/power"
+)
+
+func main() {
+	workload := "MIX2"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+
+	schemes := []pradram.Scheme{
+		pradram.Baseline, pradram.FGA, pradram.HalfDRAM, pradram.PRA, pradram.HalfDRAMPRA,
+	}
+
+	results := make(map[pradram.Scheme]pradram.Result)
+	for _, s := range schemes {
+		cfg := pradram.DefaultConfig(workload)
+		cfg.Scheme = s
+		cfg.InstrPerCore = 150_000
+		cfg.WarmupPerCore = 250_000
+		res, err := pradram.Run(cfg)
+		if err != nil {
+			log.Fatalf("%v: %v", s, err)
+		}
+		results[s] = res
+	}
+
+	base := results[pradram.Baseline]
+	actPower := func(r pradram.Result) float64 { return r.Energy[power.CompActPre] / r.RuntimeNs() }
+	ioPower := func(r pradram.Result) float64 { return r.Energy.IO() / r.RuntimeNs() }
+
+	fmt.Printf("workload %s — all values normalized to baseline\n\n", workload)
+	fmt.Printf("%-14s %8s %8s %8s %8s %8s %8s\n",
+		"scheme", "ACT pwr", "I/O pwr", "total", "energy", "EDP", "perf")
+	for _, s := range schemes {
+		r := results[s]
+		fmt.Printf("%-14s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			s,
+			actPower(r)/actPower(base),
+			ioPower(r)/ioPower(base),
+			r.AvgPowerMW()/base.AvgPowerMW(),
+			r.TotalEnergyPJ()/base.TotalEnergyPJ(),
+			r.EDP()/base.EDP(),
+			r.SumIPC()/base.SumIPC())
+	}
+	fmt.Println("\nExpected shape (paper Figs. 12-13): PRA cuts ACT and I/O power with ~no")
+	fmt.Println("performance loss; FGA saves activation energy but loses bandwidth;")
+	fmt.Println("Half-DRAM sits between; the combination stacks both savings.")
+}

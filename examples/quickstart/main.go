@@ -1,0 +1,40 @@
+// Quickstart: run one workload on the baseline DRAM system and on PRA, and
+// compare power, energy, and performance — the library's ten-line version
+// of the paper's headline claim.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pradram"
+)
+
+func main() {
+	base := pradram.DefaultConfig("GUPS")
+	base.InstrPerCore = 200_000
+	base.WarmupPerCore = 200_000
+
+	baseline, err := pradram.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := base
+	cfg.Scheme = pradram.PRA
+	pra, err := pradram.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s (4 instances)\n\n", base.Workload)
+	fmt.Printf("%-22s %12s %12s\n", "", "baseline", "PRA")
+	fmt.Printf("%-22s %12.1f %12.1f\n", "DRAM power (mW)", baseline.AvgPowerMW(), pra.AvgPowerMW())
+	fmt.Printf("%-22s %12.3g %12.3g\n", "DRAM energy (pJ)", baseline.TotalEnergyPJ(), pra.TotalEnergyPJ())
+	fmt.Printf("%-22s %12.3f %12.3f\n", "sum IPC", baseline.SumIPC(), pra.SumIPC())
+	fmt.Printf("%-22s %12.2f %12.2f\n", "avg act granularity", baseline.Dev.AvgGranularity(), pra.Dev.AvgGranularity())
+	fmt.Printf("\nPRA: %.1f%% less DRAM power, %.1f%% less energy, %.2f%% performance delta\n",
+		100*(1-pra.AvgPowerMW()/baseline.AvgPowerMW()),
+		100*(1-pra.TotalEnergyPJ()/baseline.TotalEnergyPJ()),
+		100*(pra.SumIPC()/baseline.SumIPC()-1))
+}

@@ -1,0 +1,3 @@
+module pradram
+
+go 1.22

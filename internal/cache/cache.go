@@ -1,0 +1,588 @@
+// Package cache models the two-level cache hierarchy of the paper's
+// baseline system (Table 3): per-core 32KB 4-way L1 data caches and a
+// shared 4MB 8-way L2, write-back and write-allocate with LRU replacement,
+// extended with the paper's fine-grained dirtiness (FGD) support (Section
+// 4.1.4): every line carries a byte-granularity dirty mask, dirty masks are
+// OR-merged on L1-to-L2 evictions, and the mask accompanies a dirty L2
+// eviction to the memory controller where it becomes the PRA mask.
+//
+// The hierarchy is non-blocking: misses allocate MSHRs (merging waiters for
+// the same line), fills and hit completions are delivered through an event
+// queue, and writebacks are buffered until the memory controller accepts
+// them. The optional Dirty-Block Index (Seshadri et al., modelled for the
+// Figure 15 case study) proactively writes back all dirty L2 lines of a
+// DRAM row when any dirty line of that row is evicted.
+package cache
+
+import (
+	"container/heap"
+	"fmt"
+
+	"pradram/internal/core"
+	"pradram/internal/stats"
+)
+
+// Backend is the memory side of the hierarchy (the memory controller).
+// Both methods may refuse (queue full); the hierarchy retries every Tick.
+type Backend interface {
+	// Read requests a line fill; done is called with the cycle the data
+	// arrives.
+	Read(addr uint64, done func(at int64)) bool
+	// Write enqueues a dirty-line writeback with its FGD byte mask.
+	Write(addr uint64, dirty core.ByteMask) bool
+}
+
+// Config sizes the hierarchy. Latencies are in CPU cycles.
+type Config struct {
+	Cores  int
+	L1Sets int // 128 sets x 4 ways x 64B = 32KB
+	L1Ways int
+	L1Lat  int64
+	L2Sets int // 8192 sets x 8 ways x 64B = 4MB
+	L2Ways int
+	L2Lat  int64
+	MSHRs  int // outstanding L2 misses per core
+
+	// DBI enables the Dirty-Block-Index proactive writeback. RowKey maps a
+	// line address to its DRAM row identity and must be set when DBI is on.
+	DBI    bool
+	RowKey func(addr uint64) uint64
+	// DBIEntries bounds the index to that many DRAM-row entries (the real
+	// DBI is a small SRAM structure); inserting beyond capacity evicts
+	// the oldest entry and force-writes-back its dirty blocks. Zero means
+	// unbounded (an idealized DBI).
+	DBIEntries int
+}
+
+// DefaultConfig returns the paper's Table 3 hierarchy for n cores.
+func DefaultConfig(n int) Config {
+	return Config{
+		Cores:  n,
+		L1Sets: 128, L1Ways: 4, L1Lat: 2,
+		L2Sets: 8192, L2Ways: 8, L2Lat: 20,
+		MSHRs: 16,
+	}
+}
+
+// Validate reports the first inconsistency in the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0:
+		return fmt.Errorf("cache: need at least one core")
+	case c.L1Sets <= 0 || c.L1Ways <= 0 || c.L2Sets <= 0 || c.L2Ways <= 0:
+		return fmt.Errorf("cache: sets/ways must be positive")
+	case c.L1Sets&(c.L1Sets-1) != 0 || c.L2Sets&(c.L2Sets-1) != 0:
+		return fmt.Errorf("cache: set counts must be powers of two")
+	case c.MSHRs <= 0:
+		return fmt.Errorf("cache: MSHRs must be positive")
+	case c.DBI && c.RowKey == nil:
+		return fmt.Errorf("cache: DBI requires a RowKey function")
+	case c.DBIEntries < 0:
+		return fmt.Errorf("cache: negative DBI capacity")
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty core.ByteMask
+	last  int64 // LRU timestamp
+}
+
+type level struct {
+	sets    [][]line
+	setMask uint64
+	tick    int64
+
+	Hits, Misses int64
+}
+
+func newLevel(nSets, ways int) *level {
+	l := &level{sets: make([][]line, nSets), setMask: uint64(nSets - 1)}
+	for i := range l.sets {
+		l.sets[i] = make([]line, ways)
+	}
+	return l
+}
+
+// lineID is the line address (addr >> 6); set index uses its low bits.
+func (l *level) set(id uint64) []line { return l.sets[id&l.setMask] }
+
+// lookup returns the line if present, bumping LRU when touch is set.
+func (l *level) lookup(id uint64, touch bool) *line {
+	s := l.set(id)
+	for i := range s {
+		if s[i].valid && s[i].tag == id {
+			if touch {
+				l.tick++
+				s[i].last = l.tick
+			}
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// victim returns the line to replace in id's set (an invalid way, else LRU).
+func (l *level) victim(id uint64) *line {
+	s := l.set(id)
+	v := &s[0]
+	for i := range s {
+		if !s[i].valid {
+			return &s[i]
+		}
+		if s[i].last < v.last {
+			v = &s[i]
+		}
+	}
+	return v
+}
+
+// install places id into the cache, returning the evicted line (valid=false
+// in the return when the way was free).
+func (l *level) install(id uint64, dirty core.ByteMask) (evicted line) {
+	v := l.victim(id)
+	evicted = *v
+	l.tick++
+	*v = line{tag: id, valid: true, dirty: dirty, last: l.tick}
+	return evicted
+}
+
+// event is a scheduled completion callback.
+type event struct {
+	at int64
+	fn func(at int64)
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int           { return len(q) }
+func (q eventQueue) Less(i, j int) bool { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+type waiter struct {
+	done      func(at int64)
+	storeMask core.ByteMask // nonzero for stores: applied at fill
+	core      int
+}
+
+type missEntry struct {
+	id      uint64
+	waiters []waiter
+	issued  bool
+}
+
+type pendingWB struct {
+	id    uint64
+	dirty core.ByteMask
+}
+
+// Stats aggregates hierarchy-level counters for the experiments.
+type Stats struct {
+	Loads, Stores    int64
+	L1Hits, L1Misses int64
+	L2Hits, L2Misses int64
+	Writebacks       int64
+	DBIProactive     int64
+	DBIEvictions     int64
+	// DirtyWords histograms dirty words per line at L2 dirty eviction
+	// (Figure 3). DirtyChips is the SDS chip-mask equivalent (Section 3).
+	DirtyWords *stats.Hist
+	DirtyChips *stats.Hist
+	DirtyBytes int64 // total dirty bytes written back
+}
+
+// Hierarchy is the full two-level cache system.
+type Hierarchy struct {
+	cfg Config
+	mem Backend
+
+	l1 []*level
+	l2 *level
+
+	mshr        map[uint64]*missEntry
+	mshrPerCore []int
+	events      eventQueue
+	wbs         []pendingWB
+	retryFills  []*missEntry
+
+	dbi     map[uint64]map[uint64]struct{} // rowKey -> dirty L2 line ids
+	dbiFIFO []uint64                       // insertion order (lazy deletion)
+
+	Stats Stats
+}
+
+// New builds a hierarchy over the given memory backend.
+func New(cfg Config, mem Backend) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mem == nil {
+		return nil, fmt.Errorf("cache: nil backend")
+	}
+	h := &Hierarchy{
+		cfg:         cfg,
+		mem:         mem,
+		l2:          newLevel(cfg.L2Sets, cfg.L2Ways),
+		mshr:        make(map[uint64]*missEntry),
+		mshrPerCore: make([]int, cfg.Cores),
+	}
+	h.l1 = make([]*level, cfg.Cores)
+	for i := range h.l1 {
+		h.l1[i] = newLevel(cfg.L1Sets, cfg.L1Ways)
+	}
+	if cfg.DBI {
+		h.dbi = make(map[uint64]map[uint64]struct{})
+	}
+	h.Stats.DirtyWords = stats.NewHist(core.WordsPerLine)
+	h.Stats.DirtyChips = stats.NewHist(core.BytesPerWord)
+	return h, nil
+}
+
+func lineID(addr uint64) uint64 { return addr >> 6 }
+
+// Load issues a load. Returns false when the core's MSHRs are exhausted
+// (the core must retry next cycle). done is called with the completion
+// cycle exactly once.
+func (h *Hierarchy) Load(coreID int, addr uint64, now int64, done func(at int64)) bool {
+	return h.access(coreID, addr, now, 0, done)
+}
+
+// Store issues a store of the given dirty byte mask (write-allocate).
+// Returns false when the core's MSHRs are exhausted.
+func (h *Hierarchy) Store(coreID int, addr uint64, mask core.ByteMask, now int64, done func(at int64)) bool {
+	if mask == 0 {
+		mask = core.StoreBytes(int(addr&63), 1)
+	}
+	return h.access(coreID, addr, now, mask, done)
+}
+
+func (h *Hierarchy) access(coreID int, addr uint64, now int64, storeMask core.ByteMask, done func(at int64)) bool {
+	id := lineID(addr)
+	isStore := storeMask != 0
+	if isStore {
+		h.Stats.Stores++
+	} else {
+		h.Stats.Loads++
+	}
+
+	// L1.
+	if ln := h.l1[coreID].lookup(id, true); ln != nil {
+		h.Stats.L1Hits++
+		ln.dirty |= storeMask
+		if storeMask != 0 {
+			h.dbiMark(id)
+		}
+		h.schedule(now+h.cfg.L1Lat, done)
+		return true
+	}
+	h.Stats.L1Misses++
+
+	// L2.
+	if ln := h.l2.lookup(id, true); ln != nil {
+		h.Stats.L2Hits++
+		h.fillL1(coreID, id, storeMask)
+		h.schedule(now+h.cfg.L1Lat+h.cfg.L2Lat, done)
+		return true
+	}
+	h.Stats.L2Misses++
+
+	// MSHR merge.
+	if e, ok := h.mshr[id]; ok {
+		e.waiters = append(e.waiters, waiter{done: done, storeMask: storeMask, core: coreID})
+		return true
+	}
+	if h.mshrPerCore[coreID] >= h.cfg.MSHRs {
+		// Un-count: the access will be retried by the core.
+		if isStore {
+			h.Stats.Stores--
+		} else {
+			h.Stats.Loads--
+		}
+		h.Stats.L1Misses--
+		h.Stats.L2Misses--
+		return false
+	}
+	e := &missEntry{id: id, waiters: []waiter{{done: done, storeMask: storeMask, core: coreID}}}
+	h.mshr[id] = e
+	h.mshrPerCore[coreID]++
+	h.issueFill(e)
+	return true
+}
+
+func (h *Hierarchy) issueFill(e *missEntry) {
+	addr := e.id << 6
+	ok := h.mem.Read(addr, func(at int64) { h.fill(e, at) })
+	if !ok {
+		h.retryFills = append(h.retryFills, e)
+		return
+	}
+	e.issued = true
+}
+
+// fill completes an L2 miss: install in L2 and the first waiter's L1, wake
+// all waiters.
+func (h *Hierarchy) fill(e *missEntry, at int64) {
+	delete(h.mshr, e.id)
+	h.mshrPerCore[e.waiters[0].core]--
+
+	h.installL2(e.id, 0)
+	for _, w := range e.waiters {
+		h.fillL1(w.core, e.id, w.storeMask)
+	}
+	for _, w := range e.waiters {
+		w.done(at)
+	}
+}
+
+// fillL1 installs id into coreID's L1 with the store mask applied, merging
+// any dirty victim's mask down into L2.
+func (h *Hierarchy) fillL1(coreID int, id uint64, storeMask core.ByteMask) {
+	ev := h.l1[coreID].install(id, storeMask)
+	if storeMask != 0 {
+		// The DBI tracks dirtiness anywhere in the hierarchy, so a store
+		// that dirties an L1 line indexes immediately.
+		h.dbiMark(id)
+	}
+	if !ev.valid || ev.dirty == 0 {
+		return
+	}
+	if ln := h.l2.lookup(ev.tag, false); ln != nil {
+		wasClean := ln.dirty == 0
+		ln.dirty |= ev.dirty
+		if wasClean {
+			h.dbiMark(ev.tag)
+		}
+		return
+	}
+	// Inclusion violation shouldn't happen (L2 evictions invalidate L1
+	// copies), but write the data back rather than lose it.
+	h.queueWB(ev.tag, ev.dirty)
+}
+
+// installL2 places a line in the L2, handling the eviction cascade.
+func (h *Hierarchy) installL2(id uint64, dirty core.ByteMask) {
+	ev := h.l2.install(id, dirty)
+	if dirty != 0 {
+		h.dbiMark(id)
+	}
+	if !ev.valid {
+		return
+	}
+	// Enforce inclusion: pull dirty bits from (and invalidate) L1 copies.
+	mask := ev.dirty
+	for _, l1 := range h.l1 {
+		if ln := l1.lookup(ev.tag, false); ln != nil {
+			mask |= ln.dirty
+			ln.valid = false
+		}
+	}
+	h.dbiUnmark(ev.tag)
+	if mask == 0 {
+		return
+	}
+	h.recordEviction(mask)
+	h.queueWB(ev.tag, mask)
+	h.dbiSweep(ev.tag)
+}
+
+// recordEviction logs the Figure-3 / Section-3 dirtiness of a line headed
+// to DRAM.
+func (h *Hierarchy) recordEviction(mask core.ByteMask) {
+	h.Stats.Writebacks++
+	h.Stats.DirtyWords.Add(mask.WordMask().Granularity())
+	h.Stats.DirtyChips.Add(mask.ChipMask().Granularity())
+	h.Stats.DirtyBytes += int64(mask.DirtyBytes())
+}
+
+func (h *Hierarchy) queueWB(id uint64, dirty core.ByteMask) {
+	if h.mem.Write(id<<6, dirty) {
+		return
+	}
+	h.wbs = append(h.wbs, pendingWB{id: id, dirty: dirty})
+}
+
+// --- DBI ---
+
+func (h *Hierarchy) rowKey(id uint64) uint64 { return h.cfg.RowKey(id << 6) }
+
+func (h *Hierarchy) dbiMark(id uint64) {
+	if h.dbi == nil {
+		return
+	}
+	k := h.rowKey(id)
+	set, ok := h.dbi[k]
+	if !ok {
+		// A bounded DBI evicts its oldest row entry to make room; the
+		// evicted entry's dirty blocks are force-written-back (they lose
+		// their index coverage, so the structure writes them out — the
+		// behaviour of Seshadri et al.'s design).
+		if h.cfg.DBIEntries > 0 {
+			for len(h.dbi) >= h.cfg.DBIEntries && len(h.dbiFIFO) > 0 {
+				victim := h.dbiFIFO[0]
+				h.dbiFIFO = h.dbiFIFO[1:]
+				if _, live := h.dbi[victim]; !live {
+					continue // lazily-deleted entry
+				}
+				h.Stats.DBIEvictions++
+				h.dbiSweepKey(victim)
+			}
+		}
+		set = make(map[uint64]struct{})
+		h.dbi[k] = set
+		h.dbiFIFO = append(h.dbiFIFO, k)
+	}
+	set[id] = struct{}{}
+}
+
+func (h *Hierarchy) dbiUnmark(id uint64) {
+	if h.dbi == nil {
+		return
+	}
+	k := h.rowKey(id)
+	if set, ok := h.dbi[k]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(h.dbi, k)
+		}
+	}
+}
+
+// dbiSweep proactively writes back (and cleans in place) every dirty L2
+// line that shares evictedID's DRAM row.
+func (h *Hierarchy) dbiSweep(evictedID uint64) {
+	if h.dbi == nil {
+		return
+	}
+	h.dbiSweepKey(h.rowKey(evictedID))
+}
+
+// dbiSweepKey writes back all indexed dirty lines of one DRAM row.
+func (h *Hierarchy) dbiSweepKey(k uint64) {
+	set, ok := h.dbi[k]
+	if !ok {
+		return
+	}
+	for id := range set {
+		ln := h.l2.lookup(id, false)
+		if ln == nil {
+			continue
+		}
+		// Dirtiness may live in L2, in an L1 copy, or both; merge all of
+		// it so the writeback carries every dirty byte.
+		mask := ln.dirty
+		for _, l1 := range h.l1 {
+			if l1ln := l1.lookup(id, false); l1ln != nil {
+				mask |= l1ln.dirty
+				l1ln.dirty = 0
+			}
+		}
+		if mask == 0 {
+			continue
+		}
+		ln.dirty = 0
+		h.Stats.DBIProactive++
+		h.recordEviction(mask)
+		h.queueWB(id, mask)
+	}
+	delete(h.dbi, k)
+}
+
+// --- event processing ---
+
+func (h *Hierarchy) schedule(at int64, fn func(at int64)) {
+	heap.Push(&h.events, event{at: at, fn: fn})
+}
+
+// Tick delivers due completions and retries refused backend operations.
+// Call once per CPU cycle.
+func (h *Hierarchy) Tick(now int64) {
+	for len(h.events) > 0 && h.events[0].at <= now {
+		e := heap.Pop(&h.events).(event)
+		e.fn(e.at)
+	}
+	if len(h.retryFills) > 0 {
+		keep := h.retryFills[:0]
+		for _, e := range h.retryFills {
+			addr := e.id << 6
+			if h.mem.Read(addr, func(at int64) { h.fill(e, at) }) {
+				e.issued = true
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		h.retryFills = keep
+	}
+	if len(h.wbs) > 0 {
+		// Drain in FIFO order, stopping at the first refusal: when the
+		// controller's write queue is full, everything behind the head
+		// would be refused too, and rescanning a long backlog every tick
+		// turns write bursts (e.g. DBI sweeps) quadratic.
+		i := 0
+		for ; i < len(h.wbs); i++ {
+			if !h.mem.Write(h.wbs[i].id<<6, h.wbs[i].dirty) {
+				break
+			}
+		}
+		if i > 0 {
+			h.wbs = append(h.wbs[:0], h.wbs[i:]...)
+		}
+	}
+}
+
+// ResetStats zeroes the hierarchy counters and histograms; cache contents
+// are untouched. Used to exclude warmup from measurement.
+func (h *Hierarchy) ResetStats() {
+	h.Stats = Stats{
+		DirtyWords: stats.NewHist(core.WordsPerLine),
+		DirtyChips: stats.NewHist(core.BytesPerWord),
+	}
+}
+
+// Drain returns whether any miss, event, or writeback is still in flight.
+func (h *Hierarchy) Drain() bool {
+	return len(h.mshr) > 0 || len(h.events) > 0 || len(h.wbs) > 0 || len(h.retryFills) > 0
+}
+
+// FlushDirty writes back every dirty line (L1 merged into L2 first). Used
+// by the Figure 3 experiment so short runs account lines still resident at
+// the end. It records eviction statistics exactly like natural evictions.
+func (h *Hierarchy) FlushDirty() {
+	for coreID, l1 := range h.l1 {
+		_ = coreID
+		for si := range l1.sets {
+			for wi := range l1.sets[si] {
+				ln := &l1.sets[si][wi]
+				if !ln.valid || ln.dirty == 0 {
+					continue
+				}
+				if l2ln := h.l2.lookup(ln.tag, false); l2ln != nil {
+					wasClean := l2ln.dirty == 0
+					l2ln.dirty |= ln.dirty
+					if wasClean {
+						h.dbiMark(ln.tag)
+					}
+				} else {
+					h.recordEviction(ln.dirty)
+					h.queueWB(ln.tag, ln.dirty)
+				}
+				ln.dirty = 0
+			}
+		}
+	}
+	for si := range h.l2.sets {
+		for wi := range h.l2.sets[si] {
+			ln := &h.l2.sets[si][wi]
+			if !ln.valid || ln.dirty == 0 {
+				continue
+			}
+			h.recordEviction(ln.dirty)
+			h.queueWB(ln.tag, ln.dirty)
+			h.dbiUnmark(ln.tag)
+			ln.dirty = 0
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package cache
+
+import (
+	"testing"
+
+	"pradram/internal/core"
+)
+
+// nullMem accepts everything and completes fills immediately.
+type nullMem struct{}
+
+func (nullMem) Read(addr uint64, done func(at int64)) bool { done(0); return true }
+func (nullMem) Write(addr uint64, mask core.ByteMask) bool { return true }
+
+func BenchmarkL1HitLoad(b *testing.B) {
+	h, err := New(DefaultConfig(1), nullMem{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.Load(0, 0x1000, 0, func(int64) {})
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(0, 0x1000, int64(i), func(int64) { sink++ })
+		h.Tick(int64(i) + 3)
+	}
+	_ = sink
+}
+
+func BenchmarkRandomAccessMix(b *testing.B) {
+	h, err := New(DefaultConfig(4), nullMem{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := uint64(99)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := (next() % (1 << 28)) &^ 63
+		coreID := int(next() % 4)
+		if next()%4 == 0 {
+			h.Store(coreID, addr, core.StoreBytes(int(next()%8)*8, 8), int64(i), func(int64) {})
+		} else {
+			h.Load(coreID, addr, int64(i), func(int64) {})
+		}
+		if i%16 == 0 {
+			h.Tick(int64(i) + 25)
+		}
+	}
+}

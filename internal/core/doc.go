@@ -1,0 +1,14 @@
+// Package core implements the primitives of the Partial Row Activation (PRA)
+// scheme from "Partial Row Activation for Low-Power DRAM System" (HPCA 2017):
+// 8-bit PRA masks and their algebra, the fine-grained-dirtiness (FGD)
+// byte-to-word mask conversions used by the cache hierarchy, the
+// false-row-buffer-hit predicate used by the memory controller, the
+// activation-weight model used to relax tRRD/tFAW for partial activations,
+// and the Skinflint-DRAM (SDS) chip-mask projection used for the Section 3
+// coverage comparison.
+//
+// Everything in this package is pure computation over small integer masks;
+// it has no simulator state and no dependencies, so the rest of the system
+// (cache, memory controller, power model) shares one definition of what a
+// partial activation means.
+package core

@@ -1,0 +1,27 @@
+package core
+
+import "testing"
+
+func BenchmarkWordMask(b *testing.B) {
+	var sink Mask
+	for i := 0; i < b.N; i++ {
+		sink |= ByteMask(i * 0x9E3779B9).WordMask()
+	}
+	_ = sink
+}
+
+func BenchmarkChipMask(b *testing.B) {
+	var sink Mask
+	for i := 0; i < b.N; i++ {
+		sink |= ByteMask(i * 0x9E3779B9).ChipMask()
+	}
+	_ = sink
+}
+
+func BenchmarkClassifyAccess(b *testing.B) {
+	var sink RowHitOutcome
+	for i := 0; i < b.N; i++ {
+		sink = ClassifyAccess(true, true, Mask(i), Write, Mask(i>>3))
+	}
+	_ = sink
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassifyAccess(t *testing.T) {
+	cases := []struct {
+		name     string
+		open     bool
+		sameRow  bool
+		openMask Mask
+		kind     AccessKind
+		need     Mask
+		want     RowHitOutcome
+	}{
+		{"closed bank is a miss", false, false, 0, Read, 0, Miss},
+		{"different row is a miss", true, false, FullMask, Read, 0, Miss},
+		{"read vs full row hits", true, true, FullMask, Read, 0, Hit},
+		{"read vs partial row false-hits", true, true, 0x03, Read, 0, FalseHit},
+		{"write covered by partial row hits", true, true, 0x81, Write, 0x01, Hit},
+		{"write outside partial row false-hits", true, true, 0x81, Write, 0x02, FalseHit},
+		{"write vs full row hits", true, true, FullMask, Write, 0xAA, Hit},
+		// The paper's example (Section 5.2.1): open 11000000b, write needs
+		// the second MAT group counting from bit 7... we use bit positions:
+		// open words 6,7; a write needing word 0 false-hits.
+		{"paper example", true, true, 0xC0, Write, 0x01, FalseHit},
+	}
+	for _, c := range cases {
+		if got := ClassifyAccess(c.open, c.sameRow, c.openMask, c.kind, c.need); got != c.want {
+			t.Errorf("%s: got %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+// Property: reads hit iff the open row is full; writes hit iff covered.
+func TestClassifyAccessProperty(t *testing.T) {
+	f := func(openMask, need uint8, kindBit bool) bool {
+		kind := Read
+		if kindBit {
+			kind = Write
+		}
+		got := ClassifyAccess(true, true, Mask(openMask), kind, Mask(need))
+		if kind == Read {
+			want := FalseHit
+			if Mask(openMask).IsFull() {
+				want = Hit
+			}
+			return got == want
+		}
+		want := FalseHit
+		if Mask(openMask).Covers(Mask(need)) {
+			want = Hit
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActivationWeight(t *testing.T) {
+	if w := ActivationWeight(FullMask, false); w != 1.0 {
+		t.Errorf("full activation weight = %v, want 1", w)
+	}
+	if w := ActivationWeight(0x01, false); w != 0.125 {
+		t.Errorf("1/8 activation weight = %v, want 0.125", w)
+	}
+	if w := ActivationWeight(FullMask, true); w != 0.5 {
+		t.Errorf("Half-DRAM full weight = %v, want 0.5", w)
+	}
+	if w := ActivationWeight(0x01, true); w != 0.0625 {
+		t.Errorf("Half-DRAM+PRA 1/8 weight = %v, want 1/16", w)
+	}
+}
+
+func TestScaledRRD(t *testing.T) {
+	const tRRD = 5
+	cases := []struct {
+		w    float64
+		want int
+	}{
+		{1.0, 5}, {0.5, 3}, {0.125, 1}, {0.0625, 1}, {0.875, 5}, {0.75, 4},
+	}
+	for _, c := range cases {
+		if got := ScaledRRD(tRRD, c.w); got != c.want {
+			t.Errorf("ScaledRRD(%d, %v) = %d, want %d", tRRD, c.w, got, c.want)
+		}
+	}
+}
+
+// Property: ScaledRRD is monotone in w and bounded by [1, tRRD].
+func TestScaledRRDProperty(t *testing.T) {
+	f := func(g uint8, tRRD uint8) bool {
+		if tRRD == 0 {
+			tRRD = 1
+		}
+		w := float64(g%9) / 8
+		s := ScaledRRD(int(tRRD), w)
+		if s < 1 || s > int(tRRD) {
+			return false
+		}
+		// Monotonicity against the next granularity step.
+		if g%9 < 8 {
+			s2 := ScaledRRD(int(tRRD), float64(g%9+1)/8)
+			if s2 < s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindAndOutcomeStrings(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("AccessKind strings wrong")
+	}
+	if Hit.String() != "hit" || FalseHit.String() != "false-hit" || Miss.String() != "miss" {
+		t.Error("RowHitOutcome strings wrong")
+	}
+}

@@ -1,0 +1,221 @@
+// Package cpu models the processor side of the paper's baseline system
+// (Table 3): 3.2 GHz, 8-wide out-of-order cores with a 192-entry ROB and
+// 32/32-entry load/store queues. The model is deliberately ISA-free — what
+// the DRAM study needs from the CPU is its memory-level parallelism and its
+// latency/bandwidth sensitivity, both of which come from the windowed
+// in-order-retire structure: instructions dispatch in order up to the issue
+// width, loads complete when the hierarchy answers, dependent loads
+// (pointer chases) cannot dispatch until the previous load returns, and the
+// ROB stalls dispatch when full. IPC therefore responds to memory latency
+// and bandwidth exactly the way the weighted-speedup metric needs.
+package cpu
+
+import (
+	"fmt"
+
+	"pradram/internal/core"
+)
+
+// OpKind classifies generated instructions.
+type OpKind uint8
+
+const (
+	Compute OpKind = iota
+	Load
+	Store
+)
+
+// Op is one instruction token from a workload generator.
+type Op struct {
+	Kind OpKind
+	Addr uint64
+	// Bytes is the dirty byte mask within the 64B line for stores.
+	Bytes core.ByteMask
+	// Dep marks a load whose address depends on the previous load's value
+	// (pointer chasing): it cannot dispatch until that load completes.
+	Dep bool
+}
+
+// Generator produces an infinite instruction stream for one core.
+type Generator interface {
+	Next(op *Op)
+	Name() string
+}
+
+// MemPort is the cache hierarchy interface a core issues to. Both methods
+// may refuse admission (MSHRs full); the core retries next cycle.
+type MemPort interface {
+	Load(coreID int, addr uint64, now int64, done func(at int64)) bool
+	Store(coreID int, addr uint64, mask core.ByteMask, now int64, done func(at int64)) bool
+}
+
+// Config sizes one core.
+type Config struct {
+	Width int // dispatch/retire width
+	ROB   int
+	LDQ   int
+	STQ   int
+}
+
+// DefaultConfig returns the Table 3 core: 8-way, ROB 192, LDQ/STQ 32/32.
+func DefaultConfig() Config { return Config{Width: 8, ROB: 192, LDQ: 32, STQ: 32} }
+
+// Validate reports the first bad field.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.ROB <= 0 || c.LDQ <= 0 || c.STQ <= 0 {
+		return fmt.Errorf("cpu: all config fields must be positive: %+v", c)
+	}
+	return nil
+}
+
+type robEntry struct {
+	done bool
+	next *robEntry // freelist link while recycled
+}
+
+// Core is one out-of-order core.
+type Core struct {
+	ID  int
+	cfg Config
+	gen Generator
+	mem MemPort
+
+	// The ROB is a fixed ring of entry pointers; entries are recycled
+	// through a freelist once retired (a retired entry is never touched
+	// by callbacks again: loads only retire after their callback ran).
+	rob        []*robEntry
+	head, tail int // ring indices; count tracks occupancy
+	count      int
+	free       *robEntry
+
+	ldqUsed  int
+	stqUsed  int
+	lastLoad *robEntry // most recently dispatched load (for Dep)
+
+	pending    Op // a fetched but not yet dispatched op
+	hasPending bool
+
+	// Retired counts retired instructions; Cycles counts Tick calls.
+	Retired int64
+	Cycles  int64
+	// Loads/Stores/ComputeOps retired, for traffic sanity checks.
+	Loads, Stores, ComputeOps int64
+}
+
+// New builds a core over a generator and memory port.
+func New(id int, cfg Config, gen Generator, mem MemPort) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gen == nil || mem == nil {
+		return nil, fmt.Errorf("cpu: generator and memory port are required")
+	}
+	return &Core{ID: id, cfg: cfg, gen: gen, mem: mem, rob: make([]*robEntry, cfg.ROB)}, nil
+}
+
+func (c *Core) alloc(done bool) *robEntry {
+	e := c.free
+	if e == nil {
+		e = &robEntry{}
+	} else {
+		c.free = e.next
+		e.next = nil
+	}
+	e.done = done
+	return e
+}
+
+func (c *Core) push(e *robEntry) {
+	c.rob[c.tail] = e
+	c.tail = (c.tail + 1) % c.cfg.ROB
+	c.count++
+}
+
+// ResetStats zeroes the retirement counters; pipeline state (ROB, queues,
+// in-flight misses) is untouched. Used to exclude warmup from measurement.
+func (c *Core) ResetStats() {
+	c.Retired, c.Cycles = 0, 0
+	c.Loads, c.Stores, c.ComputeOps = 0, 0, 0
+}
+
+// IPC returns retired instructions per cycle so far.
+func (c *Core) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Retired) / float64(c.Cycles)
+}
+
+// Tick advances the core one CPU cycle: retire in order, then dispatch.
+func (c *Core) Tick(now int64) {
+	c.Cycles++
+
+	// Retire up to Width completed instructions in order.
+	retired := 0
+	for retired < c.cfg.Width && c.count > 0 && c.rob[c.head].done {
+		e := c.rob[c.head]
+		c.rob[c.head] = nil
+		c.head = (c.head + 1) % c.cfg.ROB
+		c.count--
+		retired++
+		// Recycle unless it is the dependence anchor for the next load
+		// (the anchor is left for the garbage collector when replaced).
+		if e != c.lastLoad {
+			e.next = c.free
+			c.free = e
+		}
+	}
+	c.Retired += int64(retired)
+
+	// Dispatch up to Width new instructions.
+	for d := 0; d < c.cfg.Width; d++ {
+		if c.count >= c.cfg.ROB {
+			return // ROB full
+		}
+		if !c.hasPending {
+			c.gen.Next(&c.pending)
+			c.hasPending = true
+		}
+		op := &c.pending
+		switch op.Kind {
+		case Compute:
+			c.push(c.alloc(true))
+			c.ComputeOps++
+		case Load:
+			if op.Dep && c.lastLoad != nil && !c.lastLoad.done {
+				return // address not ready: pointer chase stalls dispatch
+			}
+			e := c.alloc(false)
+			if c.ldqUsed >= c.cfg.LDQ {
+				e.next, c.free = c.free, e
+				return
+			}
+			if !c.mem.Load(c.ID, op.Addr, now, func(int64) {
+				e.done = true
+				c.ldqUsed--
+			}) {
+				e.next, c.free = c.free, e
+				return // hierarchy refused; retry next cycle
+			}
+			c.ldqUsed++
+			c.push(e)
+			c.lastLoad = e
+			c.Loads++
+		case Store:
+			if c.stqUsed >= c.cfg.STQ {
+				return
+			}
+			if !c.mem.Store(c.ID, op.Addr, op.Bytes, now, func(int64) {
+				c.stqUsed--
+			}) {
+				return
+			}
+			c.stqUsed++
+			// Stores retire immediately (they drain from the store queue
+			// in the background); the STQ bound models the backpressure.
+			c.push(c.alloc(true))
+			c.Stores++
+		}
+		c.hasPending = false
+	}
+}

@@ -1,0 +1,511 @@
+package dram
+
+import (
+	"fmt"
+
+	"pradram/internal/core"
+	"pradram/internal/power"
+)
+
+// BusDir is the direction of the last data-bus transfer, used to charge the
+// rank-to-rank / turnaround gap.
+type BusDir uint8
+
+const (
+	BusIdle BusDir = iota
+	BusRead
+	BusWrite
+)
+
+type bankState struct {
+	open bool
+	row  int
+	mask core.Mask
+
+	actAllowed int64 // earliest next ACT (tRC same bank, tRP after PRE)
+	rdAllowed  int64 // earliest column read (tRCD, +1 for partial ACT)
+	wrAllowed  int64 // earliest column write
+	preAllowed int64 // earliest PRE (tRAS, tRTP, write recovery)
+}
+
+type fawEntry struct {
+	t int64
+	w float64
+}
+
+type rankState struct {
+	banks []bankState
+
+	rrdAllowed  int64 // weighted tRRD from the last ACT in this rank
+	colAllowed  int64 // tCCD across the rank's shared column path
+	rdAfterWr   int64 // tWTR: write burst end to next read command
+	faw         []fawEntry
+	refUntil    int64 // end of an in-flight refresh
+	nextRefresh int64
+	poweredDown bool
+	pdExit      int64 // power-down exit: no command before this cycle (tXP)
+	openCount   int
+}
+
+// Stats counts device-level events for the experiment harness.
+type Stats struct {
+	// ActsByGranularity[g] counts activations that opened g/8 of a row,
+	// g = 1..8. Index 0 is unused.
+	ActsByGranularity [9]int64
+	Reads             int64
+	Writes            int64
+	Precharges        int64
+	Refreshes         int64
+	PowerDownCycles   int64
+	// Rank-state occupancy in rank-cycles (one count per rank per memory
+	// cycle): together with PowerDownCycles they partition total
+	// rank-cycles and feed the analytic power calculator's background
+	// fractions.
+	ActiveRankCycles     int64
+	PrechargedRankCycles int64
+	// WordsWritten / WordBudget track the write I/O utilization: words
+	// actually driven on the bus vs words a conventional system would
+	// drive (8 per write).
+	WordsWritten int64
+	WordBudget   int64
+}
+
+// Activations returns the total number of row activations.
+func (s Stats) Activations() int64 {
+	var n int64
+	for _, c := range s.ActsByGranularity {
+		n += c
+	}
+	return n
+}
+
+// AvgGranularity returns the average activation granularity in eighths
+// (8.0 means every activation was a full row).
+func (s Stats) AvgGranularity() float64 {
+	var n, sum int64
+	for g, c := range s.ActsByGranularity {
+		n += c
+		sum += int64(g) * c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Channel is one DDR3 channel: command/address bus, data bus, and a set of
+// ranks of banks. All methods take the current absolute memory cycle.
+type Channel struct {
+	T Timing
+	G Geometry
+
+	// Acc receives the energy of every event on this channel. Never nil.
+	Acc *power.Accumulator
+
+	// NoWeightedFAW disables the partial-activation tRRD/tFAW relaxation
+	// (every ACT charges weight 1.0) — an ablation knob for quantifying
+	// how much of PRA's behaviour comes from the relaxed timing
+	// constraints of Section 4.1.3.
+	NoWeightedFAW bool
+
+	// Trace, when non-nil, receives every issued command in issue order
+	// (see CmdEvent). Used for command-level debugging, golden-trace
+	// tests, and the global bus-occupancy invariant checks.
+	Trace func(CmdEvent)
+
+	ranks   []rankState
+	cmdFree int64 // next cycle the command/address bus is free
+
+	busFree int64 // first cycle the data bus is free
+	busDir  BusDir
+	busRank int
+
+	acctUpTo int64 // background energy accounted up to this cycle
+
+	Stats Stats
+}
+
+// NewChannel builds a channel with validated parameters. The accumulator's
+// chip counts are aligned with the geometry.
+func NewChannel(t Timing, g Geometry, acc *power.Accumulator) (*Channel, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if acc == nil {
+		acc = power.NewAccumulator()
+	}
+	acc.ChipsPerRank = g.ChipsPerRank
+	acc.OtherRanks = g.Ranks - 1
+	ch := &Channel{T: t, G: g, Acc: acc, ranks: make([]rankState, g.Ranks)}
+	for r := range ch.ranks {
+		ch.ranks[r].banks = make([]bankState, g.Banks)
+		// Stagger refreshes across ranks to avoid lockstep stalls.
+		ch.ranks[r].nextRefresh = int64(t.TREFI) * int64(r+1) / int64(g.Ranks)
+	}
+	return ch, nil
+}
+
+func (c *Channel) rank(r int) *rankState { return &c.ranks[r] }
+
+func (c *Channel) bank(r, b int) *bankState { return &c.ranks[r].banks[b] }
+
+// OpenRow reports the open row and PRA mask of a bank.
+func (c *Channel) OpenRow(r, b int) (row int, mask core.Mask, open bool) {
+	bk := c.bank(r, b)
+	return bk.row, bk.mask, bk.open
+}
+
+// AnyBankOpen reports whether any bank in rank r holds an open row.
+func (c *Channel) AnyBankOpen(r int) bool { return c.rank(r).openCount > 0 }
+
+// OpenBankCount returns the number of open banks across all ranks.
+func (c *Channel) OpenBankCount() int {
+	n := 0
+	for r := range c.ranks {
+		n += c.ranks[r].openCount
+	}
+	return n
+}
+
+// ResetStats zeroes the event counters (energy is reset via the
+// accumulator). Used to exclude warmup from measurements.
+func (c *Channel) ResetStats() { c.Stats = Stats{} }
+
+// PoweredDown reports whether rank r is in precharge power-down.
+func (c *Channel) PoweredDown(r int) bool { return c.rank(r).poweredDown }
+
+// AdvanceTo accrues background energy up to (but not including) cycle. The
+// controller calls it once per memory cycle; larger jumps are accounted at
+// the state observed at each cycle boundary's start (refresh intervals are
+// short relative to jumps the controller makes, so this is exact in
+// per-cycle operation).
+func (c *Channel) AdvanceTo(cycle int64) {
+	for c.acctUpTo < cycle {
+		t := c.acctUpTo
+		for r := range c.ranks {
+			rk := &c.ranks[r]
+			var st power.RankState
+			switch {
+			case rk.refUntil > t:
+				st = power.RankActive
+				c.Stats.ActiveRankCycles++
+			case rk.poweredDown:
+				st = power.RankPoweredDown
+				c.Stats.PowerDownCycles++
+			case rk.openCount > 0:
+				st = power.RankActive
+				c.Stats.ActiveRankCycles++
+			default:
+				st = power.RankPrecharged
+				c.Stats.PrechargedRankCycles++
+			}
+			c.Acc.Background(st, c.T.TCKNs)
+		}
+		c.acctUpTo++
+	}
+}
+
+// fawReadyAt returns the earliest cycle an activation of weight w fits the
+// weighted four-activation window (sum of in-window weights <= 4).
+func (c *Channel) fawReadyAt(rk *rankState, w float64) int64 {
+	sum := w
+	for _, e := range rk.faw {
+		sum += e.w
+	}
+	const eps = 1e-9
+	if sum <= 4+eps {
+		return 0
+	}
+	need := sum - 4
+	var at int64
+	for _, e := range rk.faw {
+		need -= e.w
+		at = e.t + int64(c.T.TFAW)
+		if need <= eps {
+			break
+		}
+	}
+	return at
+}
+
+// Wake takes rank r out of precharge power-down. The rank accepts no
+// command before now + tXP. Waking an already-awake rank is a no-op. The
+// controller must wake a rank before issuing to it; readiness queries on a
+// still-powered-down rank report as if the wake were issued now.
+func (c *Channel) Wake(now int64, r int) {
+	rk := c.rank(r)
+	if !rk.poweredDown {
+		return
+	}
+	rk.poweredDown = false
+	rk.pdExit = max64(rk.pdExit, now+int64(c.T.TXP))
+}
+
+// ActReadyAt returns the earliest cycle >= now at which an ACT of the given
+// mask may be issued to bank (r,b). For a rank still in power-down, the
+// result assumes a Wake issued at the query time.
+func (c *Channel) ActReadyAt(now int64, r, b int, mask core.Mask, halfDRAM bool) int64 {
+	rk, bk := c.rank(r), c.bank(r, b)
+	w := core.ActivationWeight(mask, halfDRAM)
+	if c.NoWeightedFAW {
+		w = 1
+	}
+	at := max64(now, bk.actAllowed, rk.rrdAllowed, c.fawReadyAt(rk, w), rk.refUntil, c.cmdFree, rk.pdExit)
+	if rk.poweredDown {
+		at = max64(at, now+int64(c.T.TXP))
+	}
+	return at
+}
+
+// Activate opens (part of) a row. mask selects the MAT groups; FullMask is
+// a conventional activation. halfDRAM marks Half-DRAM organizations, which
+// halve both the activation energy and the tRRD/tFAW weight.
+func (c *Channel) Activate(at int64, r, b, row int, mask core.Mask, halfDRAM bool) error {
+	if mask.IsZero() {
+		return fmt.Errorf("dram: activation with empty mask on rank %d bank %d", r, b)
+	}
+	if row < 0 || row >= c.G.Rows {
+		return fmt.Errorf("dram: row %d out of range", row)
+	}
+	rk, bk := c.rank(r), c.bank(r, b)
+	if rk.poweredDown {
+		return fmt.Errorf("dram: ACT to powered-down rank %d (Wake it first)", r)
+	}
+	if ready := c.ActReadyAt(at, r, b, mask, halfDRAM); at < ready {
+		return fmt.Errorf("dram: ACT at %d before ready %d (rank %d bank %d)", at, ready, r, b)
+	}
+	if bk.open {
+		return fmt.Errorf("dram: ACT to open bank %d/%d", r, b)
+	}
+	w := core.ActivationWeight(mask, halfDRAM)
+	if c.NoWeightedFAW {
+		w = 1
+	}
+
+	bk.open, bk.row, bk.mask = true, row, mask
+	bk.actAllowed = at + int64(c.T.TRC)
+	colDelay := int64(c.T.TRCD)
+	cmdCycles := int64(1)
+	if !mask.IsFull() {
+		// Partial activation: the mask arrives on the address bus next
+		// cycle; the chip starts the activation only then (Fig. 7a).
+		colDelay += int64(c.T.PRAMaskCycles)
+		cmdCycles += int64(c.T.PRAMaskCycles)
+	}
+	bk.rdAllowed = at + colDelay
+	bk.wrAllowed = at + colDelay
+	bk.preAllowed = at + int64(c.T.TRAS)
+
+	rk.rrdAllowed = at + int64(core.ScaledRRD(c.T.TRRD, w))
+	// Prune expired window entries, then record this activation.
+	keep := rk.faw[:0]
+	for _, e := range rk.faw {
+		if e.t+int64(c.T.TFAW) > at {
+			keep = append(keep, e)
+		}
+	}
+	rk.faw = append(keep, fawEntry{t: at, w: w})
+	rk.openCount++
+	c.cmdFree = at + cmdCycles
+
+	c.Acc.Activation(mask.Granularity(), halfDRAM, float64(c.T.TRC)*c.T.TCKNs)
+	c.Stats.ActsByGranularity[mask.Granularity()]++
+	c.emit(CmdEvent{At: at, Kind: CmdAct, Rank: r, Bank: b, Row: row, Mask: mask})
+	return nil
+}
+
+// busStart returns the earliest data-bus start for a transfer in direction
+// d from rank r, given the command would put data on the bus at wantStart.
+func (c *Channel) busStart(wantStart int64, d BusDir, r int) int64 {
+	gap := int64(0)
+	if c.busDir != BusIdle && (c.busDir != d || c.busRank != r) {
+		gap = int64(c.T.TRTRS)
+	}
+	return max64(wantStart, c.busFree+gap)
+}
+
+// ReadReadyAt returns the earliest command cycle >= now for a column read
+// of burstCycles from bank (r,b).
+func (c *Channel) ReadReadyAt(now int64, r, b, burstCycles int) int64 {
+	rk, bk := c.rank(r), c.bank(r, b)
+	at := max64(now, bk.rdAllowed, rk.colAllowed, rk.rdAfterWr, rk.refUntil, c.cmdFree)
+	// The data phase must fit the bus: command time is data start - CL.
+	start := c.busStart(at+int64(c.T.TCAS), BusRead, r)
+	return start - int64(c.T.TCAS)
+}
+
+// Read issues a column read; returns the cycle the last data beat arrives.
+// autoPre closes the row with an auto-precharge honoring tRTP. frac scales
+// the array-read and I/O energy relative to a full-rate burst: FGA drives
+// the bus at half rate for twice as long (prefetch broken), so it passes
+// burstCycles = 2x base with frac = 0.5 and spends the same energy moving
+// the same bits.
+func (c *Channel) Read(at int64, r, b, burstCycles int, frac float64, autoPre bool) (done int64, err error) {
+	rk, bk := c.rank(r), c.bank(r, b)
+	if !bk.open {
+		return 0, fmt.Errorf("dram: RD to closed bank %d/%d", r, b)
+	}
+	if ready := c.ReadReadyAt(at, r, b, burstCycles); at < ready {
+		return 0, fmt.Errorf("dram: RD at %d before ready %d", at, ready)
+	}
+	start := at + int64(c.T.TCAS)
+	end := start + int64(burstCycles)
+	c.busFree, c.busDir, c.busRank = end, BusRead, r
+	rk.colAllowed = at + max64(int64(c.T.TCCD), int64(burstCycles))
+	bk.preAllowed = max64(bk.preAllowed, at+int64(c.T.TRTP))
+	if frac < 0 {
+		frac = 0
+	} else if frac > 1 {
+		frac = 1
+	}
+	c.cmdFree = at + 1
+	c.Acc.ReadBurst(float64(burstCycles) * c.T.TCKNs * frac)
+	c.Stats.Reads++
+	c.emit(CmdEvent{At: at, Kind: CmdRead, Rank: r, Bank: b, Row: bk.row, DataStart: start, DataEnd: end})
+	if autoPre {
+		c.closeBank(r, b, rk, bk, bk.preAllowed)
+	}
+	return end, nil
+}
+
+// WriteReadyAt returns the earliest command cycle >= now for a column write.
+func (c *Channel) WriteReadyAt(now int64, r, b, burstCycles int) int64 {
+	rk, bk := c.rank(r), c.bank(r, b)
+	at := max64(now, bk.wrAllowed, rk.colAllowed, rk.refUntil, c.cmdFree)
+	start := c.busStart(at+int64(c.T.CWL), BusWrite, r)
+	return start - int64(c.T.CWL)
+}
+
+// Write issues a column write. frac is the fraction of the line's words
+// actually driven (PRA transfers only dirty words). Returns the cycle the
+// burst completes on the bus.
+func (c *Channel) Write(at int64, r, b, burstCycles int, frac float64, autoPre bool) (done int64, err error) {
+	rk, bk := c.rank(r), c.bank(r, b)
+	if !bk.open {
+		return 0, fmt.Errorf("dram: WR to closed bank %d/%d", r, b)
+	}
+	if ready := c.WriteReadyAt(at, r, b, burstCycles); at < ready {
+		return 0, fmt.Errorf("dram: WR at %d before ready %d", at, ready)
+	}
+	start := at + int64(c.T.CWL)
+	end := start + int64(burstCycles)
+	c.busFree, c.busDir, c.busRank = end, BusWrite, r
+	rk.colAllowed = at + max64(int64(c.T.TCCD), int64(burstCycles))
+	rk.rdAfterWr = end + int64(c.T.TWTR)
+	bk.preAllowed = max64(bk.preAllowed, end+int64(c.T.TWR))
+	c.cmdFree = at + 1
+	c.Acc.WriteBurst(float64(burstCycles)*c.T.TCKNs, frac)
+	c.Stats.Writes++
+	c.Stats.WordsWritten += int64(frac*float64(core.WordsPerLine) + 0.5)
+	c.Stats.WordBudget += core.WordsPerLine
+	c.emit(CmdEvent{At: at, Kind: CmdWrite, Rank: r, Bank: b, Row: bk.row, DataStart: start, DataEnd: end})
+	if autoPre {
+		c.closeBank(r, b, rk, bk, bk.preAllowed)
+	}
+	return end, nil
+}
+
+// PreReadyAt returns the earliest cycle a precharge may be issued.
+func (c *Channel) PreReadyAt(now int64, r, b int) int64 {
+	bk := c.bank(r, b)
+	return max64(now, bk.preAllowed, c.rank(r).refUntil, c.cmdFree)
+}
+
+// Precharge closes the bank's row. The ACT-PRE pair energy was charged at
+// activation (the Micron model folds both into P_ACT over tRC).
+func (c *Channel) Precharge(at int64, r, b int) error {
+	rk, bk := c.rank(r), c.bank(r, b)
+	if !bk.open {
+		return fmt.Errorf("dram: PRE to closed bank %d/%d", r, b)
+	}
+	if ready := c.PreReadyAt(at, r, b); at < ready {
+		return fmt.Errorf("dram: PRE at %d before ready %d", at, ready)
+	}
+	c.cmdFree = at + 1
+	c.closeBank(r, b, rk, bk, at)
+	return nil
+}
+
+func (c *Channel) closeBank(r, b int, rk *rankState, bk *bankState, preAt int64) {
+	c.emit(CmdEvent{At: preAt, Kind: CmdPre, Rank: r, Bank: b, Row: bk.row})
+	bk.open = false
+	bk.mask = 0
+	bk.actAllowed = max64(bk.actAllowed, preAt+int64(c.T.TRP))
+	rk.openCount--
+	c.Stats.Precharges++
+}
+
+// RefreshDue reports whether rank r owes a refresh at cycle now.
+func (c *Channel) RefreshDue(now int64, r int) bool { return c.rank(r).nextRefresh <= now }
+
+// NextRefreshAt returns the cycle rank r's next refresh falls due.
+func (c *Channel) NextRefreshAt(r int) int64 { return c.rank(r).nextRefresh }
+
+// RefreshReadyAt returns the earliest cycle a REF may be issued to rank r;
+// all banks must be precharged first (the controller is responsible for
+// closing them). For a rank still in power-down, the result assumes a Wake
+// issued at the query time.
+func (c *Channel) RefreshReadyAt(now int64, r int) (int64, bool) {
+	rk := c.rank(r)
+	if rk.openCount > 0 {
+		return 0, false
+	}
+	at := max64(now, rk.refUntil, c.cmdFree, rk.pdExit)
+	for b := range rk.banks {
+		// tRP from the last precharge must have elapsed; actAllowed
+		// tracks exactly that for a closed bank.
+		at = max64(at, rk.banks[b].actAllowed)
+	}
+	if rk.poweredDown {
+		at = max64(at, now+int64(c.T.TXP))
+	}
+	return at, true
+}
+
+// Refresh issues a REF to rank r, blocking it for tRFC. The rank must have
+// been woken from power-down first.
+func (c *Channel) Refresh(at int64, r int) error {
+	rk := c.rank(r)
+	if rk.poweredDown {
+		return fmt.Errorf("dram: REF to powered-down rank %d (Wake it first)", r)
+	}
+	ready, ok := c.RefreshReadyAt(at, r)
+	if !ok {
+		return fmt.Errorf("dram: REF to rank %d with open banks", r)
+	}
+	if at < ready {
+		return fmt.Errorf("dram: REF at %d before ready %d", at, ready)
+	}
+	rk.refUntil = at + int64(c.T.TRFC)
+	rk.nextRefresh += int64(c.T.TREFI)
+	for b := range rk.banks {
+		rk.banks[b].actAllowed = max64(rk.banks[b].actAllowed, rk.refUntil)
+	}
+	c.cmdFree = at + 1
+	c.Acc.Refresh(float64(c.T.TRFC) * c.T.TCKNs)
+	c.Stats.Refreshes++
+	c.emit(CmdEvent{At: at, Kind: CmdRef, Rank: r})
+	return nil
+}
+
+// PowerDown puts rank r into precharge power-down. It is a no-op if banks
+// are open or a refresh is in flight.
+func (c *Channel) PowerDown(now int64, r int) {
+	rk := c.rank(r)
+	if rk.openCount == 0 && rk.refUntil <= now {
+		rk.poweredDown = true
+	}
+}
+
+func max64(vs ...int64) int64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,69 @@
+package dram
+
+import (
+	"testing"
+
+	"pradram/internal/core"
+	"pradram/internal/power"
+)
+
+// BenchmarkActivatePrechargeCycle measures the core command path: ACT,
+// column write, PRE on one bank.
+func BenchmarkActivatePrechargeCycle(b *testing.B) {
+	ch, err := NewChannel(DefaultTiming(), DefaultGeometry(), power.NewAccumulator())
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = ch.ActReadyAt(now, 0, 0, core.FullMask, false)
+		if err := ch.Activate(now, 0, 0, i%ch.G.Rows, core.FullMask, false); err != nil {
+			b.Fatal(err)
+		}
+		at := ch.WriteReadyAt(now, 0, 0, ch.T.TBURST)
+		if _, err := ch.Write(at, 0, 0, ch.T.TBURST, 1, false); err != nil {
+			b.Fatal(err)
+		}
+		pre := ch.PreReadyAt(at, 0, 0)
+		if err := ch.Precharge(pre, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+		now = pre
+	}
+}
+
+// BenchmarkPartialActivation measures the PRA activation path with mask
+// handling and weighted FAW accounting.
+func BenchmarkPartialActivation(b *testing.B) {
+	ch, err := NewChannel(DefaultTiming(), DefaultGeometry(), power.NewAccumulator())
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank := i % ch.G.Banks
+		mask := core.Mask(1 << uint(i%8))
+		now = ch.ActReadyAt(now, 0, bank, mask, false)
+		if err := ch.Activate(now, 0, bank, i%ch.G.Rows, mask, false); err != nil {
+			b.Fatal(err)
+		}
+		pre := ch.PreReadyAt(now+int64(ch.T.TRAS), 0, bank)
+		if err := ch.Precharge(pre, 0, bank); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdvanceTo measures background-energy accrual.
+func BenchmarkAdvanceTo(b *testing.B) {
+	ch, err := NewChannel(DefaultTiming(), DefaultGeometry(), power.NewAccumulator())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.AdvanceTo(int64(i + 1))
+	}
+}

@@ -1,0 +1,139 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"pradram/internal/core"
+	"pradram/internal/power"
+)
+
+// Brute-force re-verification of the weighted activation-window rules: the
+// channel's incremental fawReadyAt/rrdAllowed bookkeeping must agree with
+// a from-scratch recomputation over the full command history. The driver
+// issues a random legal stream; the trace hook collects every ACT; the
+// checker replays the history.
+func TestWeightedFAWGoldenReference(t *testing.T) {
+	ch, err := NewChannel(DefaultTiming(), DefaultGeometry(), power.NewAccumulator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type act struct {
+		at   int64
+		rank int
+		w    float64
+		rrd  int // tRRD the activation imposes on the next ACT
+	}
+	var acts []act
+	ch.Trace = func(e CmdEvent) {
+		if e.Kind != CmdAct {
+			return
+		}
+		w := core.ActivationWeight(e.Mask, false)
+		acts = append(acts, act{at: e.At, rank: e.Rank, w: w, rrd: core.ScaledRRD(ch.T.TRRD, w)})
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	now := int64(0)
+	open := map[[2]int]bool{}
+	for i := 0; i < 4000; i++ {
+		r, b := rng.Intn(ch.G.Ranks), rng.Intn(ch.G.Banks)
+		k := [2]int{r, b}
+		if open[k] {
+			at := ch.PreReadyAt(now, r, b)
+			if err := ch.Precharge(at, r, b); err != nil {
+				t.Fatal(err)
+			}
+			open[k] = false
+			now = at
+			continue
+		}
+		mask := core.Mask(rng.Intn(255) + 1)
+		at := ch.ActReadyAt(now, r, b, mask, false)
+		if err := ch.Activate(at, r, b, rng.Intn(ch.G.Rows), mask, false); err != nil {
+			t.Fatal(err)
+		}
+		open[k] = true
+		now = at
+	}
+	if len(acts) < 1500 {
+		t.Fatalf("stream produced only %d activations", len(acts))
+	}
+
+	// Golden check 1: the weighted four-activation window. For every ACT,
+	// the weights of same-rank ACTs within the preceding tFAW (inclusive
+	// of this one) must not exceed 4.
+	tfaw := int64(ch.T.TFAW)
+	const eps = 1e-9
+	for i, a := range acts {
+		sum := 0.0
+		for j := i; j >= 0; j-- {
+			prev := acts[j]
+			if prev.rank != a.rank {
+				continue
+			}
+			if prev.at <= a.at-tfaw {
+				break // history is time-ordered per rank
+			}
+			sum += prev.w
+		}
+		if sum > 4+eps {
+			t.Fatalf("ACT %d at cycle %d: window weight %.3f > 4", i, a.at, sum)
+		}
+	}
+
+	// Golden check 2: weighted tRRD. Consecutive same-rank ACTs must be
+	// spaced by at least the tRRD the earlier one imposed.
+	last := map[int]act{}
+	for i, a := range acts {
+		if prev, ok := last[a.rank]; ok {
+			if gap := a.at - prev.at; gap < int64(prev.rrd) {
+				t.Fatalf("ACT %d at %d: gap %d below scaled tRRD %d", i, a.at, gap, prev.rrd)
+			}
+		}
+		last[a.rank] = a
+	}
+}
+
+// The same golden checks with relaxation disabled: every activation
+// charges full weight, so at most 4 fit any window regardless of masks.
+func TestUnweightedFAWGoldenReference(t *testing.T) {
+	ch, err := NewChannel(DefaultTiming(), DefaultGeometry(), power.NewAccumulator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.NoWeightedFAW = true
+	var times []int64
+	ch.Trace = func(e CmdEvent) {
+		if e.Kind == CmdAct && e.Rank == 0 {
+			times = append(times, e.At)
+		}
+	}
+	now := int64(0)
+	for i := 0; i < 64; i++ {
+		b := i % ch.G.Banks
+		if _, _, isOpen := ch.OpenRow(0, b); isOpen {
+			at := ch.PreReadyAt(now, 0, b)
+			if err := ch.Precharge(at, 0, b); err != nil {
+				t.Fatal(err)
+			}
+			now = at
+		}
+		mask := core.Mask(0x01) // minimal mask; must still weigh 1.0
+		at := ch.ActReadyAt(now, 0, b, mask, false)
+		if err := ch.Activate(at, 0, b, 1, mask, false); err != nil {
+			t.Fatal(err)
+		}
+		now = at
+	}
+	tfaw := int64(ch.T.TFAW)
+	for i := range times {
+		count := 0
+		for j := i; j >= 0 && times[j] > times[i]-tfaw; j-- {
+			count++
+		}
+		if count > 4 {
+			t.Fatalf("unweighted window holds %d ACTs > 4 at cycle %d", count, times[i])
+		}
+	}
+}

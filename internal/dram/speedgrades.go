@@ -1,0 +1,51 @@
+package dram
+
+// SpeedGrade is one DDR3 data-rate bin with its JEDEC-style timing set.
+// The paper evaluates DDR3-1600; the other grades support the sensitivity
+// sweep over data rates. Chip power parameters are held at the Table 3
+// values across grades (they are specified for the 1600 bin), so the
+// sweep isolates the timing effect.
+type SpeedGrade struct {
+	Name   string
+	Timing Timing
+	// CPUPerMem is the integer CPU:memory clock ratio used with the
+	// paper's 3.2 GHz cores (rounded where the true ratio is fractional).
+	CPUPerMem int64
+}
+
+// SpeedGrades returns the supported DDR3 bins, slowest first.
+func SpeedGrades() []SpeedGrade {
+	mk := func(tck float64, cl, rcd, rp, ras, wr, rrd, faw, cwl, rtp, wtr, rfc, refi int) Timing {
+		t := DefaultTiming()
+		t.TCKNs = tck
+		t.TCAS, t.TRCD, t.TRP, t.TRAS = cl, rcd, rp, ras
+		t.TRC = ras + rp
+		t.TWR = wr
+		t.TRRD = rrd
+		t.TFAW = faw
+		t.CWL = cwl
+		t.TRTP = rtp
+		t.TWTR = wtr
+		t.TRFC = rfc
+		t.TREFI = refi
+		return t
+	}
+	return []SpeedGrade{
+		{"DDR3-800", mk(2.5, 6, 6, 6, 15, 6, 4, 16, 5, 4, 4, 64, 3120), 8},
+		{"DDR3-1066", mk(1.875, 7, 7, 7, 20, 8, 4, 20, 6, 4, 4, 86, 4160), 6},
+		{"DDR3-1333", mk(1.5, 9, 9, 9, 24, 10, 4, 20, 7, 5, 5, 107, 5200), 5},
+		{"DDR3-1600", DefaultTiming(), 4},
+		{"DDR3-1866", mk(1.071, 13, 13, 13, 32, 14, 5, 26, 9, 7, 7, 150, 7280), 3},
+		{"DDR3-2133", mk(0.938, 14, 14, 14, 36, 16, 6, 27, 10, 8, 8, 171, 8320), 3},
+	}
+}
+
+// SpeedGradeByName resolves a grade by name; ok is false when unknown.
+func SpeedGradeByName(name string) (SpeedGrade, bool) {
+	for _, g := range SpeedGrades() {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return SpeedGrade{}, false
+}

@@ -1,0 +1,71 @@
+package dram
+
+import (
+	"fmt"
+
+	"pradram/internal/core"
+)
+
+// CmdKind identifies a DRAM command in the trace stream.
+type CmdKind uint8
+
+const (
+	CmdAct CmdKind = iota
+	CmdRead
+	CmdWrite
+	CmdPre
+	CmdRef
+)
+
+func (k CmdKind) String() string {
+	switch k {
+	case CmdAct:
+		return "ACT"
+	case CmdRead:
+		return "RD"
+	case CmdWrite:
+		return "WR"
+	case CmdPre:
+		return "PRE"
+	case CmdRef:
+		return "REF"
+	}
+	return fmt.Sprintf("Cmd(%d)", int(k))
+}
+
+// CmdEvent is one command as issued on the channel, with its data-bus
+// occupancy when applicable. Events stream to Channel.Trace in issue
+// order; the hook must not retain the event past the call.
+type CmdEvent struct {
+	At   int64 // command cycle
+	Kind CmdKind
+	Rank int
+	Bank int
+	Row  int
+	Mask core.Mask // activations: the PRA mask (FullMask for normal ACTs)
+
+	// DataStart/DataEnd delimit the burst on the data bus for RD/WR
+	// (half-open interval [DataStart, DataEnd)); zero otherwise.
+	DataStart, DataEnd int64
+}
+
+// String renders the event in a DRAMSim2-like one-line format.
+func (e CmdEvent) String() string {
+	switch e.Kind {
+	case CmdAct:
+		return fmt.Sprintf("%8d %-3s r%d b%d row %d mask %s", e.At, e.Kind, e.Rank, e.Bank, e.Row, e.Mask)
+	case CmdRead, CmdWrite:
+		return fmt.Sprintf("%8d %-3s r%d b%d bus [%d,%d)", e.At, e.Kind, e.Rank, e.Bank, e.DataStart, e.DataEnd)
+	case CmdRef:
+		return fmt.Sprintf("%8d %-3s r%d", e.At, e.Kind, e.Rank)
+	default:
+		return fmt.Sprintf("%8d %-3s r%d b%d", e.At, e.Kind, e.Rank, e.Bank)
+	}
+}
+
+// emit streams an event to the trace hook if one is installed.
+func (c *Channel) emit(e CmdEvent) {
+	if c.Trace != nil {
+		c.Trace(e)
+	}
+}

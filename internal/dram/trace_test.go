@@ -1,0 +1,179 @@
+package dram
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"pradram/internal/core"
+	"pradram/internal/power"
+)
+
+func TestCmdKindAndEventStrings(t *testing.T) {
+	events := []CmdEvent{
+		{At: 5, Kind: CmdAct, Rank: 0, Bank: 1, Row: 42, Mask: core.Mask(0x81)},
+		{At: 17, Kind: CmdRead, Rank: 0, Bank: 1, DataStart: 28, DataEnd: 32},
+		{At: 40, Kind: CmdWrite, Rank: 1, Bank: 0, DataStart: 48, DataEnd: 52},
+		{At: 60, Kind: CmdPre, Rank: 0, Bank: 1},
+		{At: 99, Kind: CmdRef, Rank: 1},
+	}
+	wants := []string{"ACT", "RD", "WR", "PRE", "REF"}
+	for i, e := range events {
+		if !strings.Contains(e.String(), wants[i]) {
+			t.Errorf("event %d string %q missing %q", i, e.String(), wants[i])
+		}
+	}
+	if CmdKind(99).String() != "Cmd(99)" {
+		t.Error("unknown kind string wrong")
+	}
+	if !strings.Contains(events[0].String(), "10000001b") {
+		t.Error("ACT event must render its PRA mask")
+	}
+}
+
+// Figure 7(a): a partial activation delays the column command by tCK (the
+// mask transfer) relative to the conventional timing of Figure 7(b). The
+// golden trace pins the exact command cycles.
+func TestFigure7GoldenTrace(t *testing.T) {
+	run := func(mask core.Mask) []CmdEvent {
+		ch, err := NewChannel(DefaultTiming(), DefaultGeometry(), power.NewAccumulator())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace []CmdEvent
+		ch.Trace = func(e CmdEvent) { trace = append(trace, e) }
+		if err := ch.Activate(0, 0, 0, 7, mask, false); err != nil {
+			t.Fatal(err)
+		}
+		at := ch.WriteReadyAt(0, 0, 0, ch.T.TBURST)
+		if _, err := ch.Write(at, 0, 0, ch.T.TBURST, mask.Fraction(), false); err != nil {
+			t.Fatal(err)
+		}
+		pre := ch.PreReadyAt(at, 0, 0)
+		if err := ch.Precharge(pre, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+
+	full := run(core.FullMask)
+	partial := run(core.Mask(0x01))
+	if len(full) != 3 || len(partial) != 3 {
+		t.Fatalf("traces must have ACT, WR, PRE: %d / %d", len(full), len(partial))
+	}
+	// Conventional: WR at tRCD = 11. Partial: WR at tRCD + tCK = 12.
+	if full[1].At != 11 {
+		t.Errorf("full-row write at %d, want tRCD=11 (Fig. 7b)", full[1].At)
+	}
+	if partial[1].At != 12 {
+		t.Errorf("partial write at %d, want tRCD+1=12 (Fig. 7a)", partial[1].At)
+	}
+	// PRE follows tWR after the burst end in both cases.
+	wantPre := full[1].DataEnd + 12
+	if full[2].At != wantPre {
+		t.Errorf("full PRE at %d, want burst end + tWR = %d", full[2].At, wantPre)
+	}
+}
+
+// Global invariant: over any legal command stream, data-bus bursts on one
+// channel never overlap, reads deliver data CL after the command, writes
+// CWL after, and per-bank command ordering is ACT -> columns -> PRE.
+func TestBusAndOrderingInvariants(t *testing.T) {
+	ch, err := NewChannel(DefaultTiming(), DefaultGeometry(), power.NewAccumulator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bursts []CmdEvent
+	bankOpen := map[[2]int]bool{}
+	ch.Trace = func(e CmdEvent) {
+		key := [2]int{e.Rank, e.Bank}
+		switch e.Kind {
+		case CmdAct:
+			if bankOpen[key] {
+				t.Fatalf("ACT to open bank: %s", e)
+			}
+			bankOpen[key] = true
+		case CmdPre:
+			if !bankOpen[key] {
+				t.Fatalf("PRE to closed bank: %s", e)
+			}
+			bankOpen[key] = false
+		case CmdRead:
+			if !bankOpen[key] {
+				t.Fatalf("RD to closed bank: %s", e)
+			}
+			if e.DataStart-e.At != int64(ch.T.TCAS) {
+				t.Fatalf("read data not CL after command: %s", e)
+			}
+			bursts = append(bursts, e)
+		case CmdWrite:
+			if !bankOpen[key] {
+				t.Fatalf("WR to closed bank: %s", e)
+			}
+			if e.DataStart-e.At != int64(ch.T.CWL) {
+				t.Fatalf("write data not CWL after command: %s", e)
+			}
+			bursts = append(bursts, e)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	now := int64(0)
+	open := map[[2]int]bool{}
+	for i := 0; i < 5000; i++ {
+		r, b := rng.Intn(ch.G.Ranks), rng.Intn(ch.G.Banks)
+		k := [2]int{r, b}
+		if open[k] {
+			switch rng.Intn(5) {
+			case 0, 1:
+				at := ch.ReadReadyAt(now, r, b, ch.T.TBURST)
+				if _, err := ch.Read(at, r, b, ch.T.TBURST, 1, rng.Intn(2) == 0); err != nil {
+					t.Fatal(err)
+				}
+				open[k] = rng.Intn(2) != 0 // mirror the autoPre coin below
+				// Re-derive openness from the device, the source of truth.
+				_, _, open[k] = ch.OpenRow(r, b)
+				now = at
+			case 2, 3:
+				at := ch.WriteReadyAt(now, r, b, ch.T.TBURST)
+				if _, err := ch.Write(at, r, b, ch.T.TBURST, rng.Float64(), false); err != nil {
+					t.Fatal(err)
+				}
+				now = at
+			default:
+				at := ch.PreReadyAt(now, r, b)
+				if err := ch.Precharge(at, r, b); err != nil {
+					t.Fatal(err)
+				}
+				open[k] = false
+				now = at
+			}
+		} else {
+			mask := core.Mask(rng.Intn(255) + 1)
+			at := ch.ActReadyAt(now, r, b, mask, false)
+			if err := ch.Activate(at, r, b, rng.Intn(ch.G.Rows), mask, false); err != nil {
+				t.Fatal(err)
+			}
+			open[k] = true
+			now = at
+		}
+	}
+
+	// No two bursts may overlap on the shared data bus.
+	sort.Slice(bursts, func(i, j int) bool { return bursts[i].DataStart < bursts[j].DataStart })
+	for i := 1; i < len(bursts); i++ {
+		if bursts[i].DataStart < bursts[i-1].DataEnd {
+			t.Fatalf("data-bus overlap: %s then %s", bursts[i-1], bursts[i])
+		}
+		// Direction or rank switches need the tRTRS gap.
+		prev, cur := bursts[i-1], bursts[i]
+		if (prev.Kind != cur.Kind || prev.Rank != cur.Rank) &&
+			cur.DataStart-prev.DataEnd < int64(ch.T.TRTRS) {
+			t.Fatalf("missing bus turnaround gap: %s then %s", prev, cur)
+		}
+	}
+	if len(bursts) < 1000 {
+		t.Fatalf("stream exercised only %d bursts", len(bursts))
+	}
+}

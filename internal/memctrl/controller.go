@@ -1,0 +1,794 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"pradram/internal/core"
+	"pradram/internal/dram"
+	"pradram/internal/power"
+)
+
+// Config assembles a full memory system: scheme, policy, mapping, and the
+// per-channel organization.
+type Config struct {
+	Scheme  Scheme
+	Policy  Policy
+	Mapping Mapping
+
+	Channels int
+	Geom     dram.Geometry
+	Timing   dram.Timing
+
+	ReadQ      int // read queue entries per channel
+	WriteQ     int // write queue entries per channel
+	HighWM     int // write-drain start watermark
+	LowWM      int // write-drain stop watermark
+	MaxRowHits int // open-row access cap (fairness, Section 5.1.2)
+
+	// CPUPerMem is the CPU-to-memory clock ratio (4 for 3.2GHz over
+	// DDR3-1600's 800MHz command clock).
+	CPUPerMem int64
+
+	// ECC models an x72 DIMM: a ninth chip per rank stores ECC codes with
+	// its PRA pin tied high (Section 4.2) — it always fully activates and
+	// always transfers, while the eight data chips keep their partial-
+	// activation savings. Timing is unchanged; only energy accounting
+	// differs.
+	ECC bool
+
+	// Ablation knobs (all default off = full PRA as published). They
+	// isolate the contribution of each PRA design element:
+	//   NoTimingRelax  — partial ACTs charge full tRRD/tFAW weight.
+	//   NoPartialIO    — writes drive all 8 words even under PRA masks.
+	//   NoMaskCycle    — the PRA mask transfer costs no extra cycle.
+	NoTimingRelax bool
+	NoPartialIO   bool
+	NoMaskCycle   bool
+}
+
+// DefaultConfig returns the paper's Table 3 memory system.
+func DefaultConfig() Config {
+	return Config{
+		Scheme:   Baseline,
+		Policy:   RelaxedClose,
+		Mapping:  RowInterleaved,
+		Channels: 2,
+		Geom:     dram.DefaultGeometry(),
+		Timing:   dram.DefaultTiming(),
+		ReadQ:    64, WriteQ: 64, HighWM: 48, LowWM: 16,
+		MaxRowHits: 4,
+		CPUPerMem:  4,
+	}
+}
+
+// Validate reports the first configuration inconsistency.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0 || c.Channels&(c.Channels-1) != 0:
+		return fmt.Errorf("memctrl: channels must be a positive power of two, got %d", c.Channels)
+	case c.ReadQ <= 0 || c.WriteQ <= 0:
+		return fmt.Errorf("memctrl: queue sizes must be positive")
+	case c.HighWM <= c.LowWM || c.HighWM > c.WriteQ:
+		return fmt.Errorf("memctrl: watermarks must satisfy low < high <= writeQ")
+	case c.MaxRowHits <= 0:
+		return fmt.Errorf("memctrl: MaxRowHits must be positive")
+	case c.CPUPerMem <= 0:
+		return fmt.Errorf("memctrl: CPUPerMem must be positive")
+	case c.Geom.Ranks*c.Geom.Banks > 64:
+		return fmt.Errorf("memctrl: at most 64 banks per channel supported (have %d)", c.Geom.Ranks*c.Geom.Banks)
+	}
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	return c.Geom.Validate()
+}
+
+// Stats aggregates controller-level counters (per channel, summed by the
+// Controller accessor).
+type Stats struct {
+	ReadsServed, WritesServed   int64
+	RowHitRead, RowHitWrite     int64
+	FalseHitRead, FalseHitWrite int64
+	Forwarded                   int64
+	ReadRejects, WriteRejects   int64
+	ReadLatencySum              int64 // memory cycles, arrival to data
+	ActsForReads, ActsForWrites int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.ReadsServed += o.ReadsServed
+	s.WritesServed += o.WritesServed
+	s.RowHitRead += o.RowHitRead
+	s.RowHitWrite += o.RowHitWrite
+	s.FalseHitRead += o.FalseHitRead
+	s.FalseHitWrite += o.FalseHitWrite
+	s.Forwarded += o.Forwarded
+	s.ReadRejects += o.ReadRejects
+	s.WriteRejects += o.WriteRejects
+	s.ReadLatencySum += o.ReadLatencySum
+	s.ActsForReads += o.ActsForReads
+	s.ActsForWrites += o.ActsForWrites
+}
+
+type request struct {
+	kind      core.AccessKind
+	loc       Loc
+	rowKey    uint64
+	byteMask  core.ByteMask // writes: FGD dirty bytes
+	wordMask  core.Mask     // cached projection of byteMask (FullMask for reads)
+	arrive    int64         // memory cycle
+	done      func(memCycle int64)
+	activated bool // an ACT was issued on this request's behalf
+	falseHit  bool
+}
+
+// need returns the PRA word mask this request requires open.
+func (r *request) need() core.Mask { return r.wordMask }
+
+type chanCtl struct {
+	cfg *Config
+	ch  *dram.Channel
+	acc *power.Accumulator
+	am  *AddressMapper
+	idx int // channel index
+
+	readQ, writeQ []*request
+	drain         bool
+	hitCount      [][]int
+	refPending    []bool
+	forwards      []*request // reads served from the write queue
+
+	// rowCount tracks queued requests per row key and rankCount per rank,
+	// so the hot benefit/idle checks avoid scanning the queues.
+	rowCount  map[uint64]int
+	rankCount []int
+
+	// nextWake is the earliest memory cycle at which scheduling could
+	// possibly issue a command; between now and then ticks only accrue
+	// background energy. It is re-armed whenever a scheduling pass issues
+	// nothing and disarmed (0) on every enqueue or issued command.
+	nextWake int64
+	wakeMin  int64 // candidate collected during the current pass
+
+	stats Stats
+}
+
+// noteReady records a future readiness time observed during a scheduling
+// pass, to bound how long the channel may sleep.
+func (cc *chanCtl) noteReady(at int64) {
+	if at < cc.wakeMin {
+		cc.wakeMin = at
+	}
+}
+
+func (cc *chanCtl) noteAdd(req *request) {
+	cc.rowCount[req.rowKey]++
+	cc.rankCount[req.loc.Rank]++
+}
+
+func (cc *chanCtl) noteRemove(req *request) {
+	if n := cc.rowCount[req.rowKey]; n <= 1 {
+		delete(cc.rowCount, req.rowKey)
+	} else {
+		cc.rowCount[req.rowKey] = n - 1
+	}
+	cc.rankCount[req.loc.Rank]--
+}
+
+// Controller is the full multi-channel memory controller. It implements
+// the cache.Backend contract in the CPU clock domain and steps the DRAM
+// channels in the memory clock domain.
+type Controller struct {
+	cfg   Config
+	am    *AddressMapper
+	chans []*chanCtl
+
+	lastMem int64
+}
+
+// New builds a controller; each channel gets its own power accumulator.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	am, err := NewAddressMapper(cfg.Mapping, cfg.Channels, cfg.Geom)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NoMaskCycle {
+		cfg.Timing.PRAMaskCycles = 0
+	}
+	if cfg.Scheme == SDS {
+		// SDS delivers its chip mask through the DM pins alongside the
+		// write (no extra address-bus cycle) and does not relax tRRD/tFAW
+		// (the Skinflint design predates the weighted-window idea).
+		cfg.Timing.PRAMaskCycles = 0
+		cfg.NoTimingRelax = true
+	}
+	c := &Controller{cfg: cfg, am: am, lastMem: -1}
+	for i := 0; i < cfg.Channels; i++ {
+		acc := power.NewAccumulator()
+		ch, err := dram.NewChannel(cfg.Timing, cfg.Geom, acc)
+		if err != nil {
+			return nil, err
+		}
+		ch.NoWeightedFAW = cfg.NoTimingRelax
+		acc.LinearActScale = cfg.Scheme == SDS
+		if cfg.ECC {
+			acc.ECCChips = 1
+		}
+		cc := &chanCtl{cfg: &c.cfg, ch: ch, acc: acc, am: am, idx: i}
+		cc.hitCount = make([][]int, cfg.Geom.Ranks)
+		for r := range cc.hitCount {
+			cc.hitCount[r] = make([]int, cfg.Geom.Banks)
+		}
+		cc.refPending = make([]bool, cfg.Geom.Ranks)
+		cc.rowCount = make(map[uint64]int)
+		cc.rankCount = make([]int, cfg.Geom.Ranks)
+		c.chans = append(c.chans, cc)
+	}
+	return c, nil
+}
+
+// Mapper exposes the address mapper (for experiments and the DBI RowKey).
+func (c *Controller) Mapper() *AddressMapper { return c.am }
+
+// RowKey identifies the DRAM row of an address (cache.Config.RowKey).
+func (c *Controller) RowKey(addr uint64) uint64 { return c.am.RowKey(addr) }
+
+// Read enqueues a line fill. done receives the CPU cycle the data arrives.
+// Returns false when the channel's read queue is full.
+func (c *Controller) Read(addr uint64, done func(at int64)) bool {
+	l := c.am.Decompose(addr)
+	cc := c.chans[l.Channel]
+	if len(cc.readQ) >= c.cfg.ReadQ {
+		cc.stats.ReadRejects++
+		return false
+	}
+	mult := c.cfg.CPUPerMem
+	req := &request{
+		kind:     core.Read,
+		loc:      l,
+		rowKey:   c.am.RowKey(addr),
+		wordMask: core.FullMask,
+		arrive:   c.lastMem + 1,
+		done:     func(mem int64) { done(mem * mult) },
+	}
+	cc.nextWake = 0
+	// Forward from the write queue: the newest matching write has the data.
+	for _, w := range cc.writeQ {
+		if w.loc == l {
+			cc.forwards = append(cc.forwards, req)
+			cc.stats.Forwarded++
+			return true
+		}
+	}
+	cc.readQ = append(cc.readQ, req)
+	cc.noteAdd(req)
+	return true
+}
+
+// Write enqueues a dirty-line writeback with its FGD byte mask. Returns
+// false when the write queue is full. Writes to a line already queued are
+// merged (their dirty masks OR together).
+func (c *Controller) Write(addr uint64, mask core.ByteMask) bool {
+	l := c.am.Decompose(addr)
+	cc := c.chans[l.Channel]
+	if mask == 0 {
+		mask = core.FullByteMask
+	}
+	// The write mask projection depends on the scheme: PRA selects MAT
+	// groups (words), SDS selects chips (byte positions).
+	project := core.ByteMask.WordMask
+	if c.cfg.Scheme.chipMasks() {
+		project = core.ByteMask.ChipMask
+	}
+	for _, w := range cc.writeQ {
+		if w.loc == l {
+			w.byteMask |= mask
+			w.wordMask = project(w.byteMask)
+			return true
+		}
+	}
+	if len(cc.writeQ) >= c.cfg.WriteQ {
+		cc.stats.WriteRejects++
+		return false
+	}
+	req := &request{
+		kind:     core.Write,
+		loc:      l,
+		rowKey:   c.am.RowKey(addr),
+		byteMask: mask,
+		wordMask: project(mask),
+		arrive:   c.lastMem + 1,
+	}
+	cc.writeQ = append(cc.writeQ, req)
+	cc.noteAdd(req)
+	cc.nextWake = 0
+	return true
+}
+
+// ResetStats zeroes all counters and accumulated energy; queued requests
+// and device state are untouched. Used to exclude warmup from measurement.
+func (c *Controller) ResetStats() {
+	for _, cc := range c.chans {
+		cc.stats = Stats{}
+		cc.ch.ResetStats()
+		cc.acc.Reset()
+	}
+}
+
+// Pending reports whether any request is still queued or forwarding.
+func (c *Controller) Pending() bool {
+	for _, cc := range c.chans {
+		if len(cc.readQ) > 0 || len(cc.writeQ) > 0 || len(cc.forwards) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick advances the controller at CPU-cycle granularity; DRAM work happens
+// every CPUPerMem-th cycle.
+func (c *Controller) Tick(cpu int64) {
+	if cpu%c.cfg.CPUPerMem != 0 {
+		return
+	}
+	mem := cpu / c.cfg.CPUPerMem
+	c.lastMem = mem
+	for _, cc := range c.chans {
+		cc.tick(mem)
+	}
+}
+
+// Stats returns the channel-summed controller statistics.
+func (c *Controller) Stats() Stats {
+	var s Stats
+	for _, cc := range c.chans {
+		s.Add(cc.stats)
+	}
+	return s
+}
+
+// DeviceStats returns the channel-summed DRAM event statistics.
+func (c *Controller) DeviceStats() dram.Stats {
+	var s dram.Stats
+	for _, cc := range c.chans {
+		d := cc.ch.Stats
+		for g := range s.ActsByGranularity {
+			s.ActsByGranularity[g] += d.ActsByGranularity[g]
+		}
+		s.Reads += d.Reads
+		s.Writes += d.Writes
+		s.Precharges += d.Precharges
+		s.Refreshes += d.Refreshes
+		s.PowerDownCycles += d.PowerDownCycles
+		s.ActiveRankCycles += d.ActiveRankCycles
+		s.PrechargedRankCycles += d.PrechargedRankCycles
+		s.WordsWritten += d.WordsWritten
+		s.WordBudget += d.WordBudget
+	}
+	return s
+}
+
+// Energy returns the channel-summed energy breakdown in pJ.
+func (c *Controller) Energy() power.Breakdown {
+	var b power.Breakdown
+	for _, cc := range c.chans {
+		b = b.Add(cc.acc.Energy())
+	}
+	return b
+}
+
+// --- per-channel scheduling ---
+
+const farFuture = int64(1) << 62
+
+func (cc *chanCtl) tick(mem int64) {
+	cc.ch.AdvanceTo(mem)
+
+	// Complete write-forwarded reads one memory cycle after enqueue.
+	if len(cc.forwards) > 0 {
+		for _, f := range cc.forwards {
+			cc.stats.ReadsServed++
+			cc.stats.RowHitRead++ // served without any DRAM activity
+			cc.stats.ReadLatencySum += mem - f.arrive
+			f.done(mem)
+		}
+		cc.forwards = cc.forwards[:0]
+	}
+
+	// Nothing can become issueable before nextWake (it is cleared on every
+	// enqueue and issued command); skip the scheduling scans until then.
+	if mem < cc.nextWake {
+		return
+	}
+
+	// Wake powered-down ranks that have work (requests or a due refresh);
+	// the wake costs tXP before the first command (Table: tXP).
+	for r := 0; r < cc.cfg.Geom.Ranks; r++ {
+		if cc.ch.PoweredDown(r) && (cc.rankHasWork(r) || cc.ch.RefreshDue(mem, r)) {
+			cc.ch.Wake(mem, r)
+		}
+	}
+
+	// Watermark-driven write drain (Section 5.1.2).
+	if len(cc.writeQ) >= cc.cfg.HighWM {
+		cc.drain = true
+	} else if cc.drain && len(cc.writeQ) <= cc.cfg.LowWM {
+		cc.drain = false
+	}
+
+	cc.wakeMin = farFuture
+	if cc.schedule(mem) {
+		cc.nextWake = 0
+		return
+	}
+	// Nothing issued: sleep until the earliest collected readiness or the
+	// next refresh deadline, whichever comes first.
+	wake := cc.wakeMin
+	for r := 0; r < cc.cfg.Geom.Ranks; r++ {
+		if due := cc.ch.NextRefreshAt(r); due < wake {
+			wake = due
+		}
+	}
+	if wake <= mem {
+		wake = mem + 1
+	}
+	cc.nextWake = wake
+}
+
+// schedule makes one scheduling pass; reports whether a command issued.
+func (cc *chanCtl) schedule(mem int64) bool {
+	if cc.issueRefresh(mem) {
+		return true
+	}
+	primary, secondary := &cc.readQ, &cc.writeQ
+	if cc.drain || len(cc.readQ) == 0 {
+		primary, secondary = &cc.writeQ, &cc.readQ
+	}
+	if cc.tryColumn(mem, primary) {
+		return true
+	}
+	// Secondary-queue columns drain ahead of primary ACT/PRE work: a
+	// column to an already-open row is cheap, and it guarantees that rows
+	// kept open for queued beneficiaries (see tryPrep) actually drain
+	// instead of starving the bank.
+	if cc.tryColumn(mem, secondary) {
+		return true
+	}
+	if cc.tryPrep(mem, primary) {
+		return true
+	}
+	if cc.tryPrep(mem, secondary) {
+		return true
+	}
+	return cc.idleManage(mem)
+}
+
+// issueRefresh drives due refreshes: close the rank's banks, then REF.
+// Returns true when it consumed the command slot.
+func (cc *chanCtl) issueRefresh(mem int64) bool {
+	for r := 0; r < cc.cfg.Geom.Ranks; r++ {
+		if !cc.ch.RefreshDue(mem, r) {
+			cc.refPending[r] = false
+			continue
+		}
+		cc.refPending[r] = true
+		if cc.ch.AnyBankOpen(r) {
+			for b := 0; b < cc.cfg.Geom.Banks; b++ {
+				if _, _, open := cc.ch.OpenRow(r, b); !open {
+					continue
+				}
+				if at := cc.ch.PreReadyAt(mem, r, b); at <= mem {
+					if err := cc.ch.Precharge(mem, r, b); err == nil {
+						cc.hitCount[r][b] = 0
+						return true
+					}
+				} else {
+					cc.noteReady(at)
+				}
+			}
+			continue // waiting for tRAS/tWR on some bank
+		}
+		if at, ok := cc.ch.RefreshReadyAt(mem, r); ok {
+			if at <= mem {
+				if err := cc.ch.Refresh(mem, r); err == nil {
+					cc.refPending[r] = false
+					return true
+				}
+			} else {
+				cc.noteReady(at)
+			}
+		}
+	}
+	return false
+}
+
+// writeFrac returns the fraction of the line's words transferred for a
+// write: PRA schemes drive only dirty words (Section 4.1.2); FGA halves
+// the bus rate instead.
+func (cc *chanCtl) writeFrac(req *request) float64 {
+	if !cc.cfg.Scheme.praWrites() || cc.cfg.NoPartialIO {
+		return cc.cfg.Scheme.ioFrac()
+	}
+	return req.need().Fraction()
+}
+
+// tryColumn issues the first ready column command for a covered open-row
+// request, honoring the open-row access cap.
+func (cc *chanCtl) tryColumn(mem int64, q *[]*request) bool {
+	if cc.ch.OpenBankCount() == 0 {
+		return false // no open rows, so no column command can be legal
+	}
+	// Hoist open-row state: one snapshot instead of per-request lookups.
+	geom := cc.cfg.Geom
+	var openRows [64]int32 // row or -1; geometry is validated <= 64 banks
+	for r := 0; r < geom.Ranks; r++ {
+		for b := 0; b < geom.Banks; b++ {
+			if row, _, open := cc.ch.OpenRow(r, b); open {
+				openRows[r*geom.Banks+b] = int32(row)
+			} else {
+				openRows[r*geom.Banks+b] = -1
+			}
+		}
+	}
+	burst := cc.cfg.Scheme.burstCycles(cc.cfg.Timing.TBURST)
+	for i, req := range *q {
+		l := req.loc
+		if openRows[l.Rank*geom.Banks+l.Bank] != int32(l.Row) || cc.refPending[l.Rank] {
+			continue
+		}
+		_, mask, _ := cc.ch.OpenRow(l.Rank, l.Bank)
+		if core.ClassifyAccess(true, true, mask, req.kind, req.need()) != core.Hit {
+			continue
+		}
+		if cc.hitCount[l.Rank][l.Bank] >= cc.cfg.MaxRowHits {
+			continue
+		}
+		autoPre := cc.autoPrecharge(req, mask)
+		if req.kind == core.Read {
+			if at := cc.ch.ReadReadyAt(mem, l.Rank, l.Bank, burst); at > mem {
+				cc.noteReady(at)
+				continue
+			}
+			done, err := cc.ch.Read(mem, l.Rank, l.Bank, burst, cc.cfg.Scheme.ioFrac(), autoPre)
+			if err != nil {
+				continue
+			}
+			cc.finishColumn(q, i, req, autoPre)
+			cc.stats.ReadLatencySum += done - req.arrive
+			req.done(done)
+		} else {
+			if at := cc.ch.WriteReadyAt(mem, l.Rank, l.Bank, burst); at > mem {
+				cc.noteReady(at)
+				continue
+			}
+			if _, err := cc.ch.Write(mem, l.Rank, l.Bank, burst, cc.writeFrac(req), autoPre); err != nil {
+				continue
+			}
+			cc.finishColumn(q, i, req, autoPre)
+		}
+		return true
+	}
+	return false
+}
+
+// finishColumn updates hit accounting and removes the request from its
+// queue.
+func (cc *chanCtl) finishColumn(q *[]*request, i int, req *request, autoPre bool) {
+	l := req.loc
+	if autoPre {
+		cc.hitCount[l.Rank][l.Bank] = 0
+	} else {
+		cc.hitCount[l.Rank][l.Bank]++
+	}
+	if req.kind == core.Read {
+		cc.stats.ReadsServed++
+		if !req.activated {
+			cc.stats.RowHitRead++
+		}
+	} else {
+		cc.stats.WritesServed++
+		if !req.activated {
+			cc.stats.RowHitWrite++
+		}
+	}
+	s := *q
+	copy(s[i:], s[i+1:])
+	*q = s[:len(s)-1]
+	cc.noteRemove(req)
+}
+
+// autoPrecharge decides whether a column access should close the row:
+// always under the restricted policy; under the relaxed policy only when
+// no queued request would hit the (possibly partial) open row within the
+// access cap.
+func (cc *chanCtl) autoPrecharge(req *request, openMask core.Mask) bool {
+	if cc.cfg.Policy == RestrictedClose {
+		return true
+	}
+	l := req.loc
+	if cc.hitCount[l.Rank][l.Bank]+1 >= cc.cfg.MaxRowHits {
+		return true
+	}
+	if cc.cfg.Policy == OpenPage {
+		return false // rows stay open until a conflict or the hit cap
+	}
+	// req itself is still queued, so a count of 1 means nobody else.
+	if cc.rowCount[req.rowKey] <= 1 {
+		return true
+	}
+	if openMask.IsFull() {
+		return false // any same-row request hits a full row
+	}
+	for _, q := range [2][]*request{cc.readQ, cc.writeQ} {
+		for _, o := range q {
+			if o == req || o.rowKey != req.rowKey {
+				continue
+			}
+			if core.ClassifyAccess(true, true, openMask, o.kind, o.need()) == core.Hit {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// actMask computes the activation mask for a request (Section 5.2.1: PRA
+// masks of queued same-row writes are ORed; a queued same-row read forces
+// a full activation).
+func (cc *chanCtl) actMask(req *request) core.Mask {
+	if !cc.cfg.Scheme.praWrites() || req.kind == core.Read {
+		return core.FullMask
+	}
+	if cc.rowCount[req.rowKey] <= 1 {
+		return req.need() // no other queued request shares the row
+	}
+	m := req.need()
+	for _, o := range cc.writeQ {
+		if o.rowKey == req.rowKey {
+			m = m.Union(o.need())
+		}
+	}
+	for _, o := range cc.readQ {
+		if o.rowKey == req.rowKey {
+			return core.FullMask
+		}
+	}
+	return m
+}
+
+// tryPrep progresses the oldest request that needs an ACT or PRE. Only the
+// oldest request per bank matters (FCFS within a bank), so each bank is
+// examined once per scan.
+func (cc *chanCtl) tryPrep(mem int64, q *[]*request) bool {
+	half := cc.cfg.Scheme.halfDRAMOrg()
+	var visited uint64
+	for _, req := range *q {
+		l := req.loc
+		if cc.refPending[l.Rank] {
+			continue
+		}
+		row, mask, open := cc.ch.OpenRow(l.Rank, l.Bank)
+		// False-hit accounting happens for every queued request that
+		// observes the partially open row, even while older same-bank
+		// requests are still in line (Section 5.2.1): in a conventional
+		// DRAM this request would have hit the open row.
+		if open && row == l.Row && !req.falseHit &&
+			core.ClassifyAccess(true, true, mask, req.kind, req.need()) == core.FalseHit {
+			req.falseHit = true
+			if req.kind == core.Read {
+				cc.stats.FalseHitRead++
+			} else {
+				cc.stats.FalseHitWrite++
+			}
+		}
+		bankBit := uint64(1) << uint(l.Rank*cc.cfg.Geom.Banks+l.Bank)
+		if visited&bankBit != 0 {
+			continue
+		}
+		visited |= bankBit
+		if !open {
+			m := cc.actMask(req)
+			if at := cc.ch.ActReadyAt(mem, l.Rank, l.Bank, m, half); at > mem {
+				cc.noteReady(at)
+				continue
+			}
+			if err := cc.ch.Activate(mem, l.Rank, l.Bank, l.Row, m, half); err != nil {
+				continue
+			}
+			cc.hitCount[l.Rank][l.Bank] = 0
+			req.activated = true
+			if req.kind == core.Read {
+				cc.stats.ActsForReads++
+			} else {
+				cc.stats.ActsForWrites++
+			}
+			return true
+		}
+		sameRow := row == l.Row
+		outcome := core.ClassifyAccess(true, sameRow, mask, req.kind, req.need())
+		if outcome == core.Hit && cc.hitCount[l.Rank][l.Bank] < cc.cfg.MaxRowHits {
+			continue // waiting for the column path; nothing to prep
+		}
+		if cc.rowBenefits(l.Rank, l.Bank, row, mask) {
+			// Another queued request will hit the open row: let it drain
+			// before conflicting it away (bounded by the row-hit cap), so
+			// read/write phase switches do not waste fresh activations.
+			continue
+		}
+		if at := cc.ch.PreReadyAt(mem, l.Rank, l.Bank); at <= mem {
+			if err := cc.ch.Precharge(mem, l.Rank, l.Bank); err == nil {
+				cc.hitCount[l.Rank][l.Bank] = 0
+				return true
+			}
+		} else {
+			cc.noteReady(at)
+		}
+	}
+	return false
+}
+
+// idleManage closes rows no queued request benefits from and power-downs
+// idle ranks (relaxed close-page with precharge power-down). Reports
+// whether a precharge command was issued.
+func (cc *chanCtl) idleManage(mem int64) bool {
+	geom := cc.cfg.Geom
+	if cc.ch.OpenBankCount() > 0 && cc.cfg.Policy != OpenPage {
+		for r := 0; r < geom.Ranks; r++ {
+			for b := 0; b < geom.Banks; b++ {
+				row, mask, open := cc.ch.OpenRow(r, b)
+				if !open {
+					continue
+				}
+				if cc.rowBenefits(r, b, row, mask) {
+					continue
+				}
+				if at := cc.ch.PreReadyAt(mem, r, b); at <= mem {
+					if err := cc.ch.Precharge(mem, r, b); err == nil {
+						cc.hitCount[r][b] = 0
+						return true
+					}
+				} else {
+					cc.noteReady(at)
+				}
+			}
+		}
+	}
+	for r := 0; r < geom.Ranks; r++ {
+		if cc.ch.AnyBankOpen(r) || cc.rankHasWork(r) || cc.ch.RefreshDue(mem, r) {
+			continue
+		}
+		cc.ch.PowerDown(mem, r)
+	}
+	return false
+}
+
+// rowBenefits reports whether any queued request would hit the open row.
+func (cc *chanCtl) rowBenefits(rank, bank, row int, mask core.Mask) bool {
+	if cc.hitCount[rank][bank] >= cc.cfg.MaxRowHits {
+		return false
+	}
+	key := cc.am.RowKeyOf(Loc{Channel: cc.idx, Rank: rank, Bank: bank, Row: row})
+	if cc.rowCount[key] == 0 {
+		return false
+	}
+	if mask.IsFull() {
+		return true
+	}
+	for _, q := range [2][]*request{cc.readQ, cc.writeQ} {
+		for _, o := range q {
+			if o.rowKey != key {
+				continue
+			}
+			if core.ClassifyAccess(true, true, mask, o.kind, o.need()) == core.Hit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (cc *chanCtl) rankHasWork(rank int) bool { return cc.rankCount[rank] > 0 }

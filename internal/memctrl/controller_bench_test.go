@@ -1,0 +1,57 @@
+package memctrl
+
+import (
+	"testing"
+
+	"pradram/internal/core"
+)
+
+// benchTraffic drives the controller with a synthetic random read/write
+// mix and measures ticks per second under load.
+func benchTraffic(b *testing.B, scheme Scheme) {
+	cfg := DefaultConfig()
+	cfg.Scheme = scheme
+	c, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := uint64(0x12345)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	outstanding := 0
+	b.ResetTimer()
+	for cpu := int64(0); cpu < int64(b.N); cpu++ {
+		if outstanding < 48 {
+			addr := (next() % (4 << 30)) &^ 63
+			if next()%2 == 0 {
+				if c.Read(addr, func(int64) { outstanding-- }) {
+					outstanding++
+				}
+			} else {
+				c.Write(addr, core.StoreBytes(int(next()%8)*8, 8))
+			}
+		}
+		c.Tick(cpu)
+	}
+}
+
+func BenchmarkControllerBaseline(b *testing.B) { benchTraffic(b, Baseline) }
+func BenchmarkControllerPRA(b *testing.B)      { benchTraffic(b, PRA) }
+
+// BenchmarkAddressDecompose measures the mapping hot path.
+func BenchmarkAddressDecompose(b *testing.B) {
+	am, err := NewAddressMapper(RowInterleaved, 2, DefaultConfig().Geom)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink int
+	for i := 0; i < b.N; i++ {
+		l := am.Decompose(uint64(i) * 8192)
+		sink += l.Bank
+	}
+	_ = sink
+}

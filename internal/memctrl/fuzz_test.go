@@ -1,0 +1,94 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"pradram/internal/core"
+)
+
+// Conservation fuzz: under random traffic, every accepted read completes
+// exactly once, served counts match accepted counts, device-level command
+// counts are consistent with controller-level stats, and every scheme
+// drains to idle. Runs the whole scheme x policy matrix.
+func TestTrafficConservationMatrix(t *testing.T) {
+	for _, scheme := range Schemes() {
+		for _, policy := range []Policy{RelaxedClose, RestrictedClose, OpenPage} {
+			scheme, policy := scheme, policy
+			name := scheme.String() + "/" + policy.String()
+			t.Run(name, func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Scheme = scheme
+				cfg.Policy = policy
+				if policy == RestrictedClose {
+					cfg.Mapping = LineInterleaved
+				}
+				c, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(int64(scheme)*10 + int64(policy)))
+				var acceptedReads, acceptedWrites, completions int64
+				outstanding := 0
+				var cpu int64
+				for ; cpu < 4*60_000; cpu++ {
+					if cpu%6 == 0 && outstanding < 40 {
+						addr := (rng.Uint64() % (4 << 30)) &^ 63
+						if rng.Intn(3) == 0 {
+							m := core.StoreBytes(rng.Intn(8)*8, 8*(1+rng.Intn(3)))
+							if c.Write(addr, m) {
+								acceptedWrites++
+							}
+						} else {
+							if c.Read(addr, func(int64) {
+								completions++
+								outstanding--
+							}) {
+								acceptedReads++
+								outstanding++
+							}
+						}
+					}
+					c.Tick(cpu)
+				}
+				// Drain.
+				for limit := cpu + 4*2_000_000; c.Pending() && cpu < limit; cpu++ {
+					c.Tick(cpu)
+				}
+				if c.Pending() {
+					t.Fatal("controller failed to drain")
+				}
+				s := c.Stats()
+				if completions != acceptedReads {
+					t.Errorf("read completions %d != accepted %d", completions, acceptedReads)
+				}
+				if s.ReadsServed != acceptedReads {
+					t.Errorf("served reads %d != accepted %d", s.ReadsServed, acceptedReads)
+				}
+				// Writes may merge in the queue: served <= accepted.
+				if s.WritesServed > acceptedWrites {
+					t.Errorf("served writes %d > accepted %d", s.WritesServed, acceptedWrites)
+				}
+				d := c.DeviceStats()
+				// Device reads exclude forwarded ones.
+				if d.Reads != s.ReadsServed-s.Forwarded {
+					t.Errorf("device reads %d != served-forwarded %d", d.Reads, s.ReadsServed-s.Forwarded)
+				}
+				if d.Writes != s.WritesServed {
+					t.Errorf("device writes %d != served %d", d.Writes, s.WritesServed)
+				}
+				// Hits + activations cover all device accesses: every
+				// column access either hit an open row or paid an ACT
+				// (false hits re-activate, so ACTs can exceed misses, but
+				// never undercut them).
+				misses := (d.Reads - (s.RowHitRead - s.Forwarded)) + (d.Writes - s.RowHitWrite)
+				if d.Activations() < misses {
+					t.Errorf("activations %d < misses %d", d.Activations(), misses)
+				}
+				if c.Energy().Total() <= 0 {
+					t.Error("no energy accrued")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package memctrl implements the paper's memory controller (Section 5.1.2):
+// FR-FCFS scheduling with separate 64-entry read/write queues per channel
+// (48/16 write-drain watermarks), read-over-write priority, a four-access
+// cap on open-row reuse, row- and line-interleaved address mappings, the
+// relaxed and restricted close-page policies with precharge power-down, and
+// the row-activation schemes under study: conventional full-row activation
+// (baseline), fine-grained activation (FGA), Half-DRAM, PRA, and the
+// Half-DRAM + PRA combination. PRA-specific behaviour — partial write
+// activations from FGD masks, OR-merging of queued same-row write masks,
+// false-row-buffer-hit handling, and dirty-word-only write bursts — lives
+// here, layered on the timing model in internal/dram.
+package memctrl
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pradram/internal/dram"
+)
+
+// Mapping selects the physical-address interleaving.
+type Mapping int
+
+const (
+	// RowInterleaved places consecutive cache lines in the same row
+	// (channel bits lowest, then column, bank, rank, row) — the paper's
+	// mapping for the relaxed close-page policy.
+	RowInterleaved Mapping = iota
+	// LineInterleaved stripes consecutive lines across banks and ranks
+	// (channel, bank, rank, column, row) — the paper's mapping for the
+	// restricted close-page policy, maximizing parallelism.
+	LineInterleaved
+)
+
+func (m Mapping) String() string {
+	if m == RowInterleaved {
+		return "row-interleaved"
+	}
+	return "line-interleaved"
+}
+
+// Loc is a fully decomposed line address.
+type Loc struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     int
+	Col     int // line-within-row index
+}
+
+// AddressMapper decomposes physical addresses for a given organization.
+type AddressMapper struct {
+	mapping  Mapping
+	channels int
+	geom     dram.Geometry
+
+	chBits, colBits, bankBits, rankBits, rowBits uint
+}
+
+// NewAddressMapper validates that every field is a power of two and builds
+// the mapper.
+func NewAddressMapper(m Mapping, channels int, g dram.Geometry) (*AddressMapper, error) {
+	fields := []struct {
+		name string
+		v    int
+	}{
+		{"channels", channels}, {"ranks", g.Ranks}, {"banks", g.Banks},
+		{"rows", g.Rows}, {"lines per row", g.LinesPerRow},
+	}
+	for _, f := range fields {
+		if f.v <= 0 || f.v&(f.v-1) != 0 {
+			return nil, fmt.Errorf("memctrl: %s must be a positive power of two, got %d", f.name, f.v)
+		}
+	}
+	return &AddressMapper{
+		mapping:  m,
+		channels: channels,
+		geom:     g,
+		chBits:   uint(bits.TrailingZeros(uint(channels))),
+		colBits:  uint(bits.TrailingZeros(uint(g.LinesPerRow))),
+		bankBits: uint(bits.TrailingZeros(uint(g.Banks))),
+		rankBits: uint(bits.TrailingZeros(uint(g.Ranks))),
+		rowBits:  uint(bits.TrailingZeros(uint(g.Rows))),
+	}, nil
+}
+
+// Decompose splits a byte address into its DRAM coordinates. Addresses
+// beyond the installed capacity wrap in the row field.
+func (am *AddressMapper) Decompose(addr uint64) Loc {
+	line := addr >> 6
+	take := func(bitsN uint) int {
+		v := int(line & ((1 << bitsN) - 1))
+		line >>= bitsN
+		return v
+	}
+	var l Loc
+	switch am.mapping {
+	case RowInterleaved:
+		l.Channel = take(am.chBits)
+		l.Col = take(am.colBits)
+		l.Bank = take(am.bankBits)
+		l.Rank = take(am.rankBits)
+		l.Row = take(am.rowBits)
+	default: // LineInterleaved
+		l.Channel = take(am.chBits)
+		l.Bank = take(am.bankBits)
+		l.Rank = take(am.rankBits)
+		l.Col = take(am.colBits)
+		l.Row = take(am.rowBits)
+	}
+	return l
+}
+
+// Compose is the inverse of Decompose (for addresses within capacity).
+func (am *AddressMapper) Compose(l Loc) uint64 {
+	var line uint64
+	put := func(v int, bitsN, shift uint) uint {
+		line |= uint64(v) << shift
+		return shift + bitsN
+	}
+	var s uint
+	switch am.mapping {
+	case RowInterleaved:
+		s = put(l.Channel, am.chBits, 0)
+		s = put(l.Col, am.colBits, s)
+		s = put(l.Bank, am.bankBits, s)
+		s = put(l.Rank, am.rankBits, s)
+		put(l.Row, am.rowBits, s)
+	default:
+		s = put(l.Channel, am.chBits, 0)
+		s = put(l.Bank, am.bankBits, s)
+		s = put(l.Rank, am.rankBits, s)
+		s = put(l.Col, am.colBits, s)
+		put(l.Row, am.rowBits, s)
+	}
+	return line << 6
+}
+
+// RowKey returns a value identifying the DRAM row a line maps to; two
+// addresses share a key iff they live in the same (channel, rank, bank,
+// row). Used for same-row merging and the DBI.
+func (am *AddressMapper) RowKey(addr uint64) uint64 {
+	return am.RowKeyOf(am.Decompose(addr))
+}
+
+// RowKeyOf packs already-decomposed coordinates into a row key.
+func (am *AddressMapper) RowKeyOf(l Loc) uint64 {
+	return ((uint64(l.Row)<<am.bankBits|uint64(l.Bank))<<am.rankBits|uint64(l.Rank))<<am.chBits | uint64(l.Channel)
+}

@@ -1,0 +1,177 @@
+package memctrl
+
+import (
+	"testing"
+
+	"pradram/internal/core"
+	"pradram/internal/power"
+)
+
+func TestHalfDRAMPRAWrite(t *testing.T) {
+	c := newCtl(t, func(cfg *Config) { cfg.Scheme = HalfDRAMPRA })
+	addr := addrAt(c, Loc{Row: 6})
+	c.Write(addr, core.StoreBytes(0, 8))
+	runUntil(t, c, 0, 100000, func() bool { return c.Stats().WritesServed == 1 })
+	d := c.DeviceStats()
+	if d.ActsByGranularity[1] != 1 {
+		t.Errorf("HalfDRAM+PRA write must be a 1/8 partial ACT, got %v", d.ActsByGranularity)
+	}
+	// The activation energy must sit below plain PRA's 1/8 figure (half
+	// the bitlines per MAT group).
+	e := c.Energy()[power.CompActPre]
+	cPRA := newCtl(t, func(cfg *Config) { cfg.Scheme = PRA })
+	cPRA.Write(addr, core.StoreBytes(0, 8))
+	runUntil(t, cPRA, 0, 100000, func() bool { return cPRA.Stats().WritesServed == 1 })
+	if ePRA := cPRA.Energy()[power.CompActPre]; e >= ePRA {
+		t.Errorf("HalfDRAM+PRA ACT energy %v must be below PRA %v", e, ePRA)
+	}
+}
+
+func TestHalfDRAMPRAReadIsHalfRow(t *testing.T) {
+	c := newCtl(t, func(cfg *Config) { cfg.Scheme = HalfDRAMPRA })
+	done := false
+	c.Read(addrAt(c, Loc{Row: 6}), func(int64) { done = true })
+	runUntil(t, c, 0, 10000, func() bool { return done })
+	// Reads use a full mask on the Half-DRAM organization: granularity 8
+	// in the histogram, but cheaper energy than the plain baseline.
+	if got := c.DeviceStats().ActsByGranularity[8]; got != 1 {
+		t.Errorf("HalfDRAM+PRA read activation histogram %v", c.DeviceStats().ActsByGranularity)
+	}
+	base := newCtl(t, nil)
+	doneB := false
+	base.Read(addrAt(base, Loc{Row: 6}), func(int64) { doneB = true })
+	runUntil(t, base, 0, 10000, func() bool { return doneB })
+	if c.Energy()[power.CompActPre] >= base.Energy()[power.CompActPre] {
+		t.Error("HalfDRAM+PRA read ACT energy must be below baseline")
+	}
+}
+
+func TestFGAWriteBurstLonger(t *testing.T) {
+	// FGA occupies the bus twice as long per write; two writes to the
+	// same open row are spaced >= 8 memory cycles apart.
+	c := newCtl(t, func(cfg *Config) { cfg.Scheme = FGA })
+	c.Write(addrAt(c, Loc{Row: 2, Col: 0}), core.FullByteMask)
+	c.Write(addrAt(c, Loc{Row: 2, Col: 1}), core.FullByteMask)
+	runUntil(t, c, 0, 100000, func() bool { return c.Stats().WritesServed == 2 })
+	if got := c.DeviceStats().Writes; got != 2 {
+		t.Fatalf("device writes = %d", got)
+	}
+}
+
+func TestFGAIOEnergyMatchesBaseline(t *testing.T) {
+	ioEnergy := func(s Scheme) float64 {
+		c := newCtl(t, func(cfg *Config) { cfg.Scheme = s })
+		done := false
+		c.Read(addrAt(c, Loc{Row: 2}), func(int64) { done = true })
+		c.Write(addrAt(c, Loc{Row: 3}), core.FullByteMask)
+		runUntil(t, c, 0, 100000, func() bool { return done && c.Stats().WritesServed == 1 })
+		b := c.Energy()
+		return b[power.CompRdIO] + b[power.CompWrODT] + b[power.CompRdTerm] + b[power.CompWrTerm]
+	}
+	base, fga := ioEnergy(Baseline), ioEnergy(FGA)
+	if diff := fga/base - 1; diff > 0.01 || diff < -0.01 {
+		t.Errorf("FGA I/O energy must equal baseline (same bits moved): ratio %.3f", fga/base)
+	}
+}
+
+func TestAblationNoPartialIO(t *testing.T) {
+	c := newCtl(t, func(cfg *Config) {
+		cfg.Scheme = PRA
+		cfg.NoPartialIO = true
+	})
+	c.Write(addrAt(c, Loc{Row: 4}), core.StoreBytes(0, 8))
+	runUntil(t, c, 0, 100000, func() bool { return c.Stats().WritesServed == 1 })
+	d := c.DeviceStats()
+	if d.ActsByGranularity[1] != 1 {
+		t.Error("activation must stay partial under NoPartialIO")
+	}
+	if d.WordsWritten != 8 {
+		t.Errorf("NoPartialIO must drive all words, got %d", d.WordsWritten)
+	}
+}
+
+func TestAblationNoMaskCycle(t *testing.T) {
+	latency := func(noCycle bool) int64 {
+		c := newCtl(t, func(cfg *Config) {
+			cfg.Scheme = PRA
+			cfg.NoMaskCycle = noCycle
+		})
+		c.Write(addrAt(c, Loc{Row: 4}), core.StoreBytes(0, 8))
+		var cpu int64
+		cpu = runUntil(t, c, 0, 100000, func() bool { return c.Stats().WritesServed == 1 })
+		return cpu
+	}
+	with, without := latency(false), latency(true)
+	if without >= with {
+		t.Errorf("removing the mask cycle must not slow the write: %d vs %d", without, with)
+	}
+}
+
+func TestAblationNoTimingRelaxEndToEnd(t *testing.T) {
+	// Eight same-bank-group partial writes: with relaxation they stream
+	// quickly; without, tRRD/tFAW pace them. Compare completion times.
+	finish := func(noRelax bool) int64 {
+		c := newCtl(t, func(cfg *Config) {
+			cfg.Scheme = PRA
+			cfg.NoTimingRelax = noRelax
+		})
+		for i := 0; i < 8; i++ {
+			c.Write(addrAt(c, Loc{Row: i, Bank: i % 8}), core.StoreBytes(0, 8))
+		}
+		return runUntil(t, c, 0, 200000, func() bool { return c.Stats().WritesServed == 8 })
+	}
+	relaxed, strict := finish(false), finish(true)
+	if strict < relaxed {
+		t.Errorf("disabling relaxation must not speed up writes: %d vs %d", strict, relaxed)
+	}
+}
+
+func TestRestrictedPolicyWithPRA(t *testing.T) {
+	c := newCtl(t, func(cfg *Config) {
+		cfg.Scheme = PRA
+		cfg.Policy = RestrictedClose
+		cfg.Mapping = LineInterleaved
+	})
+	c.Write(addrAt(c, Loc{Row: 7}), core.StoreBytes(0, 16))
+	runUntil(t, c, 0, 100000, func() bool { return c.Stats().WritesServed == 1 })
+	d := c.DeviceStats()
+	if d.ActsByGranularity[2] != 1 {
+		t.Errorf("restricted PRA write must still activate partially: %v", d.ActsByGranularity)
+	}
+	if d.Precharges != 1 {
+		t.Errorf("restricted policy must auto-precharge, got %d", d.Precharges)
+	}
+}
+
+func TestLineInterleavedController(t *testing.T) {
+	c := newCtl(t, func(cfg *Config) { cfg.Mapping = LineInterleaved })
+	served := 0
+	for i := 0; i < 8; i++ {
+		c.Read(uint64(i)*64, func(int64) { served++ })
+	}
+	runUntil(t, c, 0, 100000, func() bool { return served == 8 })
+	// Line interleaving spreads consecutive lines across banks: at least
+	// 4 distinct banks activated.
+	if got := c.DeviceStats().Activations(); got < 4 {
+		t.Errorf("activations = %d, want >= 4 (bank spread)", got)
+	}
+}
+
+func TestRefreshWithQueuedRequests(t *testing.T) {
+	c := newCtl(t, nil)
+	served := 0
+	// Enqueue a slow trickle of reads across a long window so a refresh
+	// falls due mid-traffic.
+	for cpu := int64(0); cpu < 4*9000; cpu++ {
+		if cpu%2048 == 0 {
+			c.Read(addrAt(c, Loc{Row: int(cpu % 1000)}), func(int64) { served++ })
+		}
+		c.Tick(cpu)
+	}
+	if c.DeviceStats().Refreshes == 0 {
+		t.Error("refreshes must occur under traffic")
+	}
+	if served == 0 {
+		t.Error("reads must still be served across refreshes")
+	}
+}

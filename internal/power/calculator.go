@@ -1,0 +1,188 @@
+package power
+
+import "fmt"
+
+// Calculator is the closed-form DRAM power model — the role Micron's
+// TN-41-01 spreadsheet plays in the paper's methodology. Given workload
+// aggregates (request rates, row-buffer hit rates, granularity mix) it
+// predicts the steady-state power breakdown analytically, without
+// simulation. The experiment harness cross-validates it against the
+// cycle-level simulator: the two share parameters but compute power along
+// entirely independent paths, so agreement is a strong model check.
+type Calculator struct {
+	Chip ChipPowers
+	MAT  MATEnergy
+	IDD  IDD
+
+	ChipsPerRank int
+	ECCChips     int
+	Ranks        int // total ranks across all channels
+
+	TCKNs   float64 // memory clock period
+	TRCns   float64 // row cycle time
+	TRFCns  float64 // refresh cycle time
+	TREFIns float64 // refresh interval
+	BurstNs float64 // data-bus time per 64B transfer
+}
+
+// NewCalculator returns a calculator for the paper's baseline system
+// (2 channels x 2 ranks x 8 chips of 2Gb x8 DDR3-1600).
+func NewCalculator() *Calculator {
+	const tck = 1.25
+	return &Calculator{
+		Chip:         DefaultChipPowers(),
+		MAT:          DefaultMATEnergy(),
+		IDD:          DefaultIDD(),
+		ChipsPerRank: 8,
+		Ranks:        4,
+		TCKNs:        tck,
+		TRCns:        39 * tck,
+		TRFCns:       128 * tck,
+		TREFIns:      6240 * tck,
+		BurstNs:      4 * tck,
+	}
+}
+
+// Workload describes the aggregate memory behaviour the calculator
+// consumes. Rates are per nanosecond across the whole memory system.
+type Workload struct {
+	ReadsPerNs  float64
+	WritesPerNs float64
+
+	// RowHitRead/Write are the fractions of requests served from open
+	// rows (no activation).
+	RowHitRead  float64
+	RowHitWrite float64
+
+	// ActGranularity[g-1] is the fraction of *activations* opening g/8 of
+	// a row. Zero value means all full-row.
+	ActGranularity [8]float64
+
+	// WriteFrac is the mean fraction of words driven per write burst
+	// (1.0 conventionally; mean dirty-word fraction under PRA).
+	WriteFrac float64
+
+	// ActiveFrac is the fraction of time at least one bank is open per
+	// rank; PowerDownFrac the fraction spent in precharge power-down.
+	// The remainder idles in precharge standby.
+	ActiveFrac    float64
+	PowerDownFrac float64
+}
+
+// Validate reports the first inconsistency.
+func (w Workload) Validate() error {
+	if w.ReadsPerNs < 0 || w.WritesPerNs < 0 {
+		return fmt.Errorf("power: negative request rates")
+	}
+	if w.RowHitRead < 0 || w.RowHitRead > 1 || w.RowHitWrite < 0 || w.RowHitWrite > 1 {
+		return fmt.Errorf("power: hit rates must be within [0,1]")
+	}
+	if w.ActiveFrac < 0 || w.PowerDownFrac < 0 || w.ActiveFrac+w.PowerDownFrac > 1+1e-9 {
+		return fmt.Errorf("power: background fractions must partition [0,1]")
+	}
+	var sum float64
+	for _, v := range w.ActGranularity {
+		if v < 0 {
+			return fmt.Errorf("power: negative granularity share")
+		}
+		sum += v
+	}
+	if sum > 1+1e-9 {
+		return fmt.Errorf("power: granularity shares sum to %v > 1", sum)
+	}
+	return nil
+}
+
+// Estimate returns the predicted power breakdown in mW (energy per ns).
+func (c *Calculator) Estimate(w Workload) (Breakdown, error) {
+	var b Breakdown
+	if err := w.Validate(); err != nil {
+		return b, err
+	}
+	chips := float64(c.ChipsPerRank)
+	ecc := float64(c.ECCChips)
+	acc := Accumulator{Chip: c.Chip, MAT: c.MAT, ChipsPerRank: c.ChipsPerRank, ECCChips: c.ECCChips}
+
+	// Activations: misses activate; each ACT-PRE pair costs P_ACT(g)*tRC.
+	actRate := w.ReadsPerNs*(1-w.RowHitRead) + w.WritesPerNs*(1-w.RowHitWrite)
+	gran := w.ActGranularity
+	var sum float64
+	for _, v := range gran {
+		sum += v
+	}
+	if sum == 0 {
+		gran[7] = 1 // all full-row
+	}
+	for g := 1; g <= 8; g++ {
+		share := gran[g-1]
+		if share == 0 {
+			continue
+		}
+		perAct := acc.ActPowerScaled(g, false)*c.TRCns*chips +
+			acc.ActPowerScaled(8, false)*c.TRCns*ecc
+		b[CompActPre] += actRate * share * perAct
+	}
+
+	// Column traffic: array power and I/O during bursts.
+	rdBus := w.ReadsPerNs * c.BurstNs
+	wrBus := w.WritesPerNs * c.BurstNs
+	wf := w.WriteFrac
+	if wf <= 0 {
+		wf = 1
+	}
+	nChips := chips + ecc
+	wrChips := chips*wf + ecc
+	otherRanks := 1.0
+	b[CompRd] = c.Chip.Rd * rdBus * nChips
+	b[CompRdIO] = c.Chip.RdIO * rdBus * nChips
+	b[CompRdTerm] = c.Chip.RdTerm * rdBus * nChips * otherRanks
+	b[CompWr] = c.Chip.Wr * wrBus * wrChips
+	b[CompWrODT] = c.Chip.WrODT * wrBus * wrChips
+	b[CompWrTerm] = c.Chip.WrTerm * wrBus * wrChips * otherRanks
+
+	// Background across all ranks.
+	idleFrac := 1 - w.ActiveFrac - w.PowerDownFrac
+	perRank := c.Chip.ActStby*w.ActiveFrac + c.Chip.PreStby*idleFrac + c.Chip.PrePdn*w.PowerDownFrac
+	b[CompBG] = perRank * nChips * float64(c.Ranks)
+
+	// Refresh: each rank refreshes every tREFI for tRFC at P_REF.
+	b[CompRef] = c.Chip.Ref * (c.TRFCns / c.TREFIns) * nChips * float64(c.Ranks)
+
+	return b, nil
+}
+
+// WorkloadFromCounts converts simulation-style counters into a Workload:
+// counts over a window of runtimeNs. granularity is the activation
+// histogram (index g = g/8 activations, index 0 unused).
+func WorkloadFromCounts(runtimeNs float64, reads, writes, hitR, hitW int64,
+	granularity [9]int64, wordsWritten, wordBudget int64,
+	activeFrac, pdnFrac float64) Workload {
+	w := Workload{
+		ActiveFrac:    activeFrac,
+		PowerDownFrac: pdnFrac,
+		WriteFrac:     1,
+	}
+	if runtimeNs > 0 {
+		w.ReadsPerNs = float64(reads) / runtimeNs
+		w.WritesPerNs = float64(writes) / runtimeNs
+	}
+	if reads > 0 {
+		w.RowHitRead = float64(hitR) / float64(reads)
+	}
+	if writes > 0 {
+		w.RowHitWrite = float64(hitW) / float64(writes)
+	}
+	var acts int64
+	for _, v := range granularity {
+		acts += v
+	}
+	if acts > 0 {
+		for g := 1; g <= 8; g++ {
+			w.ActGranularity[g-1] = float64(granularity[g]) / float64(acts)
+		}
+	}
+	if wordBudget > 0 {
+		w.WriteFrac = float64(wordsWritten) / float64(wordBudget)
+	}
+	return w
+}

@@ -1,0 +1,168 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func idleWorkload() Workload {
+	return Workload{WriteFrac: 1}
+}
+
+func TestCalculatorIdleSystem(t *testing.T) {
+	c := NewCalculator()
+	b, err := c.Estimate(idleWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle: only precharge-standby background and refresh.
+	wantBG := 27.0 * 8 * 4
+	if math.Abs(b[CompBG]-wantBG) > 1e-9 {
+		t.Errorf("idle BG = %v mW, want %v", b[CompBG], wantBG)
+	}
+	wantRef := 210.0 * (128.0 / 6240.0) * 8 * 4
+	if math.Abs(b[CompRef]-wantRef) > 1e-6 {
+		t.Errorf("idle REF = %v mW, want %v", b[CompRef], wantRef)
+	}
+	if b[CompActPre] != 0 || b[CompRd] != 0 || b[CompWr] != 0 {
+		t.Error("idle system must have no dynamic power")
+	}
+}
+
+func TestCalculatorPowerDownSavesBackground(t *testing.T) {
+	c := NewCalculator()
+	idle, _ := c.Estimate(idleWorkload())
+	pdn := idleWorkload()
+	pdn.PowerDownFrac = 1
+	down, err := c.Estimate(pdn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down[CompBG] >= idle[CompBG] {
+		t.Error("power-down must reduce background power")
+	}
+	if want := 18.0 * 8 * 4; math.Abs(down[CompBG]-want) > 1e-9 {
+		t.Errorf("PDN BG = %v, want %v", down[CompBG], want)
+	}
+}
+
+func TestCalculatorActivationScaling(t *testing.T) {
+	c := NewCalculator()
+	base := idleWorkload()
+	base.WritesPerNs = 0.1
+	base.ActiveFrac = 1
+	full, err := c.Estimate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := base
+	partial.ActGranularity[0] = 1 // all 1/8-row activations
+	partial.WriteFrac = 0.125
+	pra, err := c.Estimate(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := pra[CompActPre] / full[CompActPre]; math.Abs(ratio-3.7/22.2) > 1e-9 {
+		t.Errorf("1/8 ACT power ratio = %v, want %v", ratio, 3.7/22.2)
+	}
+	if ratio := pra[CompWrODT] / full[CompWrODT]; math.Abs(ratio-0.125) > 1e-9 {
+		t.Errorf("write ODT ratio = %v, want 0.125", ratio)
+	}
+}
+
+func TestCalculatorRowHitsRemoveActivations(t *testing.T) {
+	c := NewCalculator()
+	w := idleWorkload()
+	w.ReadsPerNs = 0.2
+	w.ActiveFrac = 1
+	miss, _ := c.Estimate(w)
+	w.RowHitRead = 0.75
+	hit, err := c.Estimate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := hit[CompActPre] / miss[CompActPre]; math.Abs(ratio-0.25) > 1e-9 {
+		t.Errorf("hit-rate ACT scaling = %v, want 0.25", ratio)
+	}
+	// Column power unchanged by hit rate.
+	if hit[CompRd] != miss[CompRd] {
+		t.Error("read array power must not depend on hit rate")
+	}
+}
+
+func TestCalculatorValidation(t *testing.T) {
+	c := NewCalculator()
+	bad := idleWorkload()
+	bad.RowHitRead = 1.5
+	if _, err := c.Estimate(bad); err == nil {
+		t.Error("hit rate > 1 must fail")
+	}
+	bad = idleWorkload()
+	bad.ActiveFrac, bad.PowerDownFrac = 0.7, 0.7
+	if _, err := c.Estimate(bad); err == nil {
+		t.Error("background fractions > 1 must fail")
+	}
+	bad = idleWorkload()
+	bad.ReadsPerNs = -1
+	if _, err := c.Estimate(bad); err == nil {
+		t.Error("negative rates must fail")
+	}
+	bad = idleWorkload()
+	bad.ActGranularity[0], bad.ActGranularity[7] = 0.9, 0.9
+	if _, err := c.Estimate(bad); err == nil {
+		t.Error("granularity shares > 1 must fail")
+	}
+}
+
+// Property: estimated power is monotone in traffic and never negative.
+func TestCalculatorMonotoneProperty(t *testing.T) {
+	c := NewCalculator()
+	f := func(r8, w8, hit8 uint8) bool {
+		w := idleWorkload()
+		w.ReadsPerNs = float64(r8) / 256
+		w.WritesPerNs = float64(w8) / 256
+		w.RowHitRead = float64(hit8) / 256
+		w.ActiveFrac = 0.5
+		b, err := c.Estimate(w)
+		if err != nil {
+			return false
+		}
+		if b.Total() <= 0 {
+			return false
+		}
+		w2 := w
+		w2.ReadsPerNs *= 2
+		b2, err := c.Estimate(w2)
+		if err != nil {
+			return false
+		}
+		return b2.Total() >= b.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkloadFromCounts(t *testing.T) {
+	var gran [9]int64
+	gran[1], gran[8] = 30, 70
+	w := WorkloadFromCounts(1000, 200, 100, 50, 10, gran, 400, 800, 0.6, 0.2)
+	if w.ReadsPerNs != 0.2 || w.WritesPerNs != 0.1 {
+		t.Errorf("rates %v/%v", w.ReadsPerNs, w.WritesPerNs)
+	}
+	if w.RowHitRead != 0.25 || w.RowHitWrite != 0.1 {
+		t.Errorf("hit rates %v/%v", w.RowHitRead, w.RowHitWrite)
+	}
+	if w.ActGranularity[0] != 0.3 || w.ActGranularity[7] != 0.7 {
+		t.Errorf("granularity %v", w.ActGranularity)
+	}
+	if w.WriteFrac != 0.5 {
+		t.Errorf("write frac %v", w.WriteFrac)
+	}
+	// Zero-division guards.
+	z := WorkloadFromCounts(0, 0, 0, 0, 0, [9]int64{}, 0, 0, 0, 0)
+	if z.ReadsPerNs != 0 || z.RowHitRead != 0 || z.WriteFrac != 1 {
+		t.Errorf("zero counts mishandled: %+v", z)
+	}
+}

@@ -1,0 +1,11 @@
+// Package power implements the DRAM power and energy model of the PRA paper
+// (Section 5.1.1): the Micron-style per-state power accounting (TN-41-01)
+// using the per-chip milliwatt figures the paper publishes in Table 3, the
+// CACTI-3DD-derived MAT-level activation energy breakdown of Table 2 and
+// Figure 9, the IDD-based pure-activation-power derivation of Equations 1
+// and 2, and the partial-row scaling that projects the MAT energy
+// proportionality onto the industrial P_ACT parameter.
+//
+// All energies are accounted in picojoules (mW x ns = pJ) and all rates in
+// per-chip milliwatts; callers multiply by the number of chips involved.
+package power

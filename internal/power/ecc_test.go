@@ -1,0 +1,71 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestECCChipAlwaysFullActivation(t *testing.T) {
+	plain := NewAccumulator()
+	ecc := NewAccumulator()
+	ecc.ECCChips = 1
+	const tRC = 48.75
+
+	plain.Activation(1, false, tRC)
+	ecc.Activation(1, false, tRC)
+	// ECC adds one chip at the FULL activation power, not the partial.
+	want := plain.Energy()[CompActPre] + 22.2*tRC
+	if got := ecc.Energy()[CompActPre]; math.Abs(got-want) > 1e-6 {
+		t.Errorf("ECC partial ACT energy = %v, want %v", got, want)
+	}
+
+	// For a full-row activation, ECC is just a ninth chip.
+	plain.Reset()
+	ecc.Reset()
+	plain.Activation(8, false, tRC)
+	ecc.Activation(8, false, tRC)
+	if got, want := ecc.Energy()[CompActPre], plain.Energy()[CompActPre]*9/8; math.Abs(got-want) > 1e-6 {
+		t.Errorf("ECC full ACT energy = %v, want %v", got, want)
+	}
+}
+
+func TestECCChipAlwaysTransfersOnWrites(t *testing.T) {
+	ecc := NewAccumulator()
+	ecc.ECCChips = 1
+	const burst = 5.0
+	// A 1/8-word PRA write: data chips at 1/8, ECC chip at full.
+	ecc.WriteBurst(burst, 0.125)
+	want := 21.2 * burst * (8*0.125 + 1)
+	if got := ecc.Energy()[CompWrODT]; math.Abs(got-want) > 1e-6 {
+		t.Errorf("ECC write ODT = %v, want %v", got, want)
+	}
+}
+
+func TestECCBackgroundAndRefreshScale(t *testing.T) {
+	plain := NewAccumulator()
+	ecc := NewAccumulator()
+	ecc.ECCChips = 1
+	plain.Background(RankPrecharged, 10)
+	ecc.Background(RankPrecharged, 10)
+	if got, want := ecc.TotalEnergy(), plain.TotalEnergy()*9/8; math.Abs(got-want) > 1e-9 {
+		t.Errorf("ECC background = %v, want %v", got, want)
+	}
+	plain.Reset()
+	ecc.Reset()
+	plain.Refresh(160)
+	ecc.Refresh(160)
+	if got, want := ecc.TotalEnergy(), plain.TotalEnergy()*9/8; math.Abs(got-want) > 1e-9 {
+		t.Errorf("ECC refresh = %v, want %v", got, want)
+	}
+}
+
+func TestLinearActScale(t *testing.T) {
+	a := NewAccumulator()
+	a.LinearActScale = true
+	for g := 1; g <= 8; g++ {
+		want := 22.2 * float64(g) / 8
+		if got := a.ActPowerScaled(g, false); math.Abs(got-want) > 1e-9 {
+			t.Errorf("linear scale g=%d: %v, want %v", g, got, want)
+		}
+	}
+}

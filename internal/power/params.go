@@ -1,0 +1,182 @@
+package power
+
+// ChipPowers holds the per-chip power parameters of the baseline 2Gb x8
+// DDR3-1600 device, in milliwatts, exactly as published in Table 3 of the
+// paper ("Power (mW)" block).
+type ChipPowers struct {
+	PreStby float64 // PRE STBY: precharge standby (all banks idle, CKE high)
+	PrePdn  float64 // PRE PDN: precharge power-down (CKE low)
+	Ref     float64 // REF: refresh power during tRFC
+	ActStby float64 // ACT STBY: active standby (>=1 bank open)
+	Rd      float64 // RD: column-read array power while bursting
+	Wr      float64 // WR: column-write array power while bursting
+	RdIO    float64 // RD I/O: output driver power while bursting
+	WrODT   float64 // WR ODT: on-die termination power while receiving data
+	RdTerm  float64 // RD TERM: termination of reads on the other rank
+	WrTerm  float64 // WR TERM: termination of writes on the other rank
+
+	// Act[g-1] is the activation power at g/8-row granularity, g = 1..8.
+	// Act[7] is the conventional full-row activation power P_ACT from
+	// Equation 2; the partial entries follow the MAT-energy scaling.
+	Act [8]float64
+}
+
+// DefaultChipPowers returns the Table 3 values for the 2Gb x8 DDR3-1600 chip.
+func DefaultChipPowers() ChipPowers {
+	return ChipPowers{
+		PreStby: 27,
+		PrePdn:  18,
+		Ref:     210,
+		ActStby: 42,
+		Rd:      78,
+		Wr:      93,
+		RdIO:    4.6,
+		WrODT:   21.2,
+		RdTerm:  15.5,
+		WrTerm:  15.4,
+		Act:     [8]float64{3.7, 6.4, 9.1, 11.6, 14.3, 16.9, 19.6, 22.2},
+	}
+}
+
+// IDD holds the DDR3 current parameters used by Equation 1 to derive the
+// pure activation power from datasheet currents. The values are chosen to
+// be mutually consistent with the published ACT STBY (42mW => IDD3N=28mA),
+// PRE STBY (27mW => IDD2N=18mA) and P_ACT (22.2mW => IDD0=40mA) figures at
+// VDD=1.5V.
+type IDD struct {
+	VDD   float64 // volts
+	IDD0  float64 // mA, activate-precharge current over tRC
+	IDD2N float64 // mA, precharge standby current
+	IDD3N float64 // mA, active standby current
+}
+
+// DefaultIDD returns the current set consistent with Table 3.
+func DefaultIDD() IDD {
+	return IDD{VDD: 1.5, IDD0: 40, IDD2N: 18, IDD3N: 28}
+}
+
+// ActCurrent implements Equation 1: the pure activation current is IDD0
+// minus the background current that flows anyway during the row cycle
+// (IDD3N while the row is open for tRAS, IDD2N for the remaining
+// tRC - tRAS of the precharge phase).
+func (p IDD) ActCurrent(tRAS, tRC float64) float64 {
+	return p.IDD0 - (p.IDD3N*tRAS+p.IDD2N*(tRC-tRAS))/tRC
+}
+
+// ActPower implements Equation 2: P_ACT = VDD x I_ACT, in mW when currents
+// are in mA.
+func (p IDD) ActPower(tRAS, tRC float64) float64 {
+	return p.VDD * p.ActCurrent(tRAS, tRC)
+}
+
+// MATEnergy is the CACTI-3DD row-activation energy breakdown of the 2Gb x8
+// DDR3-1600 chip at the 20nm node (Table 2), in picojoules.
+type MATEnergy struct {
+	LocalBitline   float64 // per MAT
+	LocalSenseAmp  float64 // per MAT
+	LocalWordline  float64 // per MAT
+	RowDecoder     float64 // per MAT (local row decoder)
+	ActivationBus  float64 // per bank, shared across MATs
+	RowPredecoder  float64 // per bank, shared
+	MATsPerRow     int     // MATs activated by a conventional full-row ACT
+	MATsPerPRAStep int     // MATs per PRA mask bit (a group of two MATs)
+}
+
+// DefaultMATEnergy returns the Table 2 numbers.
+func DefaultMATEnergy() MATEnergy {
+	return MATEnergy{
+		LocalBitline:   15.583,
+		LocalSenseAmp:  1.257,
+		LocalWordline:  0.046,
+		RowDecoder:     0.035,
+		ActivationBus:  17.944,
+		RowPredecoder:  0.072,
+		MATsPerRow:     16,
+		MATsPerPRAStep: 2,
+	}
+}
+
+// PerMAT returns the activation energy spent inside one MAT (Table 2's
+// "Total row activation energy per MAT": 16.921 pJ).
+func (m MATEnergy) PerMAT() float64 {
+	return m.LocalBitline + m.LocalSenseAmp + m.LocalWordline + m.RowDecoder
+}
+
+// Shared returns the per-bank energy shared across all MATs of the
+// sub-array (activation bus + row predecoder: 18.016 pJ).
+func (m MATEnergy) Shared() float64 { return m.ActivationBus + m.RowPredecoder }
+
+// EnergyMATs returns the activation energy when n MAT-equivalents are
+// activated (Figure 9). n = MATsPerRow reproduces Table 2's "Total row
+// activation energy per bank" (288.752 pJ). n = 0 costs nothing: the bank
+// was never activated.
+func (m MATEnergy) EnergyMATs(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n)*m.PerMAT() + m.Shared()
+}
+
+// FullEnergy is the conventional full-row activation energy per bank.
+func (m MATEnergy) FullEnergy() float64 { return m.EnergyMATs(m.MATsPerRow) }
+
+// Scale returns the ratio of the activation energy with n MAT-equivalents
+// to the full-row energy. This is the "scaling factor of activation energy
+// projected onto the industrial power consumption parameter" of Section
+// 5.1.1: P_ACT(partial) = Scale x P_ACT(full). Because of the shared
+// activation bus and row predecoder the ratio at half the MATs stays above
+// 0.5 — the effect Figure 9 calls out.
+func (m MATEnergy) Scale(n int) float64 {
+	return m.EnergyMATs(n) / m.FullEnergy()
+}
+
+// ScaleGranularity returns the activation-power scale for a g/8 partial row
+// activation (g = 1..8, selecting 2g MATs). When halfDRAM is set the scheme
+// activates only half of every selected MAT's bitlines, which the model
+// treats as g MAT-equivalents instead of 2g.
+func (m MATEnergy) ScaleGranularity(g int, halfDRAM bool) float64 {
+	if g <= 0 {
+		return 0
+	}
+	if g > 8 {
+		g = 8
+	}
+	n := g * m.MATsPerPRAStep
+	if halfDRAM {
+		n /= 2
+	}
+	return m.Scale(n)
+}
+
+// DieArea holds the Table 2 area breakdown of the 2Gb chip, in mm^2, plus
+// the PRA hardware-overhead constants of Section 4.2 used in the Table 2
+// experiment report.
+type DieArea struct {
+	DRAMCell            float64
+	SenseAmplifier      float64
+	RowPredecoder       float64
+	LocalWordlineDriver float64
+	TotalChip           float64 // total area including periphery
+
+	PRALatchAreaUm2     float64 // one 8-bit PRA latch, 20nm
+	PRALatchPowerUW     float64 // per row activation
+	PRALatchAreaPct     float64 // eight latches vs whole die
+	PRALatchPowerPct    float64 // vs activation power
+	WordlineGateAreaPct float64 // AND gates on local wordlines
+}
+
+// DefaultDieArea returns the published Table 2 / Section 4.2 numbers.
+func DefaultDieArea() DieArea {
+	return DieArea{
+		DRAMCell:            4.677,
+		SenseAmplifier:      1.909,
+		RowPredecoder:       0.067,
+		LocalWordlineDriver: 1.617,
+		TotalChip:           11.884,
+		PRALatchAreaUm2:     1.97,
+		PRALatchPowerUW:     3.8,
+		PRALatchAreaPct:     0.13,
+		PRALatchPowerPct:    0.017,
+		WordlineGateAreaPct: 3.0,
+	}
+}

@@ -1,0 +1,138 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMATEnergyReproducesTable2(t *testing.T) {
+	m := DefaultMATEnergy()
+	if got, want := m.PerMAT(), 16.921; math.Abs(got-want) > 1e-9 {
+		t.Errorf("per-MAT energy = %.3f pJ, want %.3f (Table 2)", got, want)
+	}
+	if got, want := m.Shared(), 18.016; math.Abs(got-want) > 1e-9 {
+		t.Errorf("shared energy = %.3f pJ, want %.3f (Table 2)", got, want)
+	}
+	if got, want := m.FullEnergy(), 288.752; math.Abs(got-want) > 1e-3 {
+		t.Errorf("full-row energy = %.3f pJ, want %.3f (Table 2)", got, want)
+	}
+}
+
+// Figure 9: activation energy is affine in the number of MATs and halving
+// the MATs does not halve the energy because of the shared structures.
+func TestEnergyMATsFigure9Shape(t *testing.T) {
+	m := DefaultMATEnergy()
+	if m.EnergyMATs(0) != 0 {
+		t.Error("zero MATs must cost zero")
+	}
+	prev := 0.0
+	for n := 1; n <= 16; n++ {
+		e := m.EnergyMATs(n)
+		if e <= prev {
+			t.Fatalf("energy not strictly increasing at n=%d", n)
+		}
+		prev = e
+	}
+	half := m.EnergyMATs(8) / m.FullEnergy()
+	if half <= 0.5 {
+		t.Errorf("half-MAT energy ratio = %.3f; must exceed 0.5 (shared structures, Fig. 9)", half)
+	}
+	if half > 0.60 {
+		t.Errorf("half-MAT energy ratio = %.3f; too far above 0.5", half)
+	}
+}
+
+// The analytic scaling must reproduce the published Table 3 activation
+// power series (22.2, 19.6, 16.9, 14.3, 11.6, 9.1, 6.4, 3.7 mW) within
+// rounding slack.
+func TestScalingReproducesTable3ActSeries(t *testing.T) {
+	m := DefaultMATEnergy()
+	chip := DefaultChipPowers()
+	full := chip.Act[7]
+	for g := 1; g <= 8; g++ {
+		derived := full * m.ScaleGranularity(g, false)
+		published := chip.Act[g-1]
+		if math.Abs(derived-published) > 0.35 {
+			t.Errorf("g=%d/8: derived P_ACT %.2f mW vs published %.2f mW", g, derived, published)
+		}
+	}
+}
+
+func TestScaleGranularityBounds(t *testing.T) {
+	m := DefaultMATEnergy()
+	if m.ScaleGranularity(0, false) != 0 {
+		t.Error("granularity 0 scales to 0")
+	}
+	if got := m.ScaleGranularity(8, false); math.Abs(got-1) > 1e-12 {
+		t.Errorf("full granularity scale = %v, want 1", got)
+	}
+	if got := m.ScaleGranularity(9, false); math.Abs(got-1) > 1e-12 {
+		t.Errorf("clamped granularity scale = %v, want 1", got)
+	}
+	// Half-DRAM at full row behaves like 8 MAT-equivalents.
+	hd := m.ScaleGranularity(8, true)
+	if math.Abs(hd-m.Scale(8)) > 1e-12 {
+		t.Errorf("Half-DRAM full-row scale = %v, want Scale(8) = %v", hd, m.Scale(8))
+	}
+}
+
+// Property: scaling is monotone in granularity and Half-DRAM never costs
+// more than the plain scheme at the same granularity.
+func TestScaleMonotoneProperty(t *testing.T) {
+	m := DefaultMATEnergy()
+	f := func(gRaw uint8, half bool) bool {
+		g := int(gRaw%8) + 1
+		s := m.ScaleGranularity(g, half)
+		if s <= 0 || s > 1 {
+			return false
+		}
+		if g < 8 && m.ScaleGranularity(g+1, half) < s {
+			return false
+		}
+		return m.ScaleGranularity(g, true) <= m.ScaleGranularity(g, false)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Equations 1 and 2 must reproduce the published P_ACT = 22.2 mW with the
+// published tRAS=28, tRC=39 cycles at 1.25 ns/cycle.
+func TestIDDEquationsReproducePAct(t *testing.T) {
+	idd := DefaultIDD()
+	const tCK = 1.25
+	p := idd.ActPower(28*tCK, 39*tCK)
+	if math.Abs(p-22.2) > 0.15 {
+		t.Errorf("Eq.1/2 P_ACT = %.2f mW, want 22.2 (Table 3)", p)
+	}
+	// Background figures must be consistent with the same current set.
+	if got := idd.VDD * idd.IDD3N; math.Abs(got-42) > 1e-9 {
+		t.Errorf("VDD*IDD3N = %.1f mW, want ACT STBY 42", got)
+	}
+	if got := idd.VDD * idd.IDD2N; math.Abs(got-27) > 1e-9 {
+		t.Errorf("VDD*IDD2N = %.1f mW, want PRE STBY 27", got)
+	}
+}
+
+func TestIDDActCurrentShape(t *testing.T) {
+	idd := DefaultIDD()
+	// Longer tRAS leaves more background in the row cycle, so the pure
+	// activation current shrinks.
+	short := idd.ActCurrent(20, 39)
+	long := idd.ActCurrent(35, 39)
+	if long >= short {
+		t.Errorf("ActCurrent must decrease with tRAS: %.2f !< %.2f", long, short)
+	}
+}
+
+func TestDefaultDieArea(t *testing.T) {
+	a := DefaultDieArea()
+	itemized := a.DRAMCell + a.SenseAmplifier + a.RowPredecoder + a.LocalWordlineDriver
+	if itemized >= a.TotalChip {
+		t.Errorf("itemized area %.3f must be below total die %.3f (periphery exists)", itemized, a.TotalChip)
+	}
+	if a.PRALatchAreaPct > 1 || a.WordlineGateAreaPct > 5 {
+		t.Error("PRA overheads must stay small (Section 4.2)")
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"testing"
+
+	"pradram/internal/memctrl"
+)
+
+func TestECCReducesPRASavingButKeepsIt(t *testing.T) {
+	run := func(scheme memctrl.Scheme, ecc bool) Result {
+		cfg := quickCfg("GUPS")
+		cfg.Scheme = scheme
+		cfg.ECC = ecc
+		cfg.InstrPerCore = 60_000
+		cfg.WarmupPerCore = 120_000
+		res, err := RunOne(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	basePlain := run(memctrl.Baseline, false)
+	baseECC := run(memctrl.Baseline, true)
+	praPlain := run(memctrl.PRA, false)
+	praECC := run(memctrl.PRA, true)
+
+	// ECC adds a ninth chip: baseline power rises by roughly 1/8.
+	ratio := baseECC.AvgPowerMW() / basePlain.AvgPowerMW()
+	if ratio < 1.08 || ratio > 1.18 {
+		t.Errorf("ECC baseline power ratio = %.3f, want ~1.125", ratio)
+	}
+	// PRA still saves power under ECC, but relatively less: the ECC chip
+	// never participates in the saving.
+	savePlain := 1 - praPlain.AvgPowerMW()/basePlain.AvgPowerMW()
+	saveECC := 1 - praECC.AvgPowerMW()/baseECC.AvgPowerMW()
+	if saveECC <= 0 {
+		t.Error("PRA must still save power with ECC")
+	}
+	if saveECC >= savePlain {
+		t.Errorf("ECC saving %.3f must be below non-ECC %.3f (ninth chip is exempt)", saveECC, savePlain)
+	}
+}

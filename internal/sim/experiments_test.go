@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"pradram/internal/memctrl"
+)
+
+func tinyRunner() *Runner {
+	return NewRunner(ExpOptions{Instr: 30_000, Warmup: 40_000, Seed: 1})
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 17 {
+		t.Fatalf("have %d experiments, want 17", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		got, err := ExperimentByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ExperimentByID(%s) = %v, %v", e.ID, got.ID, err)
+		}
+	}
+	if _, err := ExperimentByID("nope"); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+func TestAnalyticExperimentsContent(t *testing.T) {
+	r := tinyRunner()
+	out, err := ExpTable2(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"288.752", "16.921", "18.016", "11.884"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 output missing %q", want)
+		}
+	}
+	out, err = ExpTable3(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"22.2", "3.7", "P_ACT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 output missing %q", want)
+		}
+	}
+	out, err = ExpFig9(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "288.752") || !strings.Contains(out, "shared") {
+		t.Errorf("fig9 output incomplete:\n%s", out)
+	}
+}
+
+// Every simulation-backed experiment must run end-to-end on a tiny budget.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment; skipped with -short")
+	}
+	r := tinyRunner()
+	for _, e := range Experiments() {
+		out, err := e.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(out) < 40 {
+			t.Errorf("%s: suspiciously short output (%d bytes)", e.ID, len(out))
+		}
+	}
+}
+
+func TestRunnerMemoization(t *testing.T) {
+	r := tinyRunner()
+	k := runKey{workload: "GUPS", scheme: memctrl.Baseline, policy: memctrl.RelaxedClose, active: 1}
+	a, err := r.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Ctrl != b.Ctrl {
+		t.Error("memoized run must return the identical result")
+	}
+	// Different key must actually rerun and occupy its own cache slot.
+	k2 := k
+	k2.scheme = memctrl.PRA
+	c, err := r.Run(k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scheme != memctrl.PRA {
+		t.Error("second key must run the requested scheme")
+	}
+	if len(r.opt.cache) != 2 {
+		t.Errorf("run cache holds %d entries, want 2", len(r.opt.cache))
+	}
+}
+
+func TestAloneIPCs(t *testing.T) {
+	r := tinyRunner()
+	m, err := r.AloneIPCs([]string{"GUPS", "GUPS", "em3d"}, memctrl.RelaxedClose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("alone map = %v, want 2 unique apps", m)
+	}
+	for app, ipc := range m {
+		if ipc <= 0 || ipc > 8 {
+			t.Errorf("%s alone IPC = %v out of range", app, ipc)
+		}
+	}
+}
+
+func TestNormalizedWSIdentity(t *testing.T) {
+	r := tinyRunner()
+	k := runKey{workload: "GUPS", scheme: memctrl.Baseline, policy: memctrl.RelaxedClose, active: 4}
+	base, err := r.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := r.NormalizedWS(base, base, memctrl.RelaxedClose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws != 1 {
+		t.Errorf("self-normalized WS = %v, want 1", ws)
+	}
+}
+
+func TestRunnerDefaultsApplied(t *testing.T) {
+	r := NewRunner(ExpOptions{Instr: -5, Warmup: -5})
+	if r.opt.Instr <= 0 || r.opt.Warmup != 0 {
+		t.Errorf("runner defaults not applied: %+v", r.opt)
+	}
+}
+
+func TestAblationKnobsChangeBehaviour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow; skipped with -short")
+	}
+	r := tinyRunner()
+	full, err := r.Run(runKey{workload: "GUPS", scheme: memctrl.PRA, policy: memctrl.RelaxedClose, active: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noIO, err := r.Run(runKey{workload: "GUPS", scheme: memctrl.PRA, policy: memctrl.RelaxedClose, active: 4, noIO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without partial I/O the bus carries all 8 words per write.
+	if noIO.Dev.WordsWritten <= full.Dev.WordsWritten {
+		t.Errorf("no-partial-IO must transfer more words: %d vs %d",
+			noIO.Dev.WordsWritten, full.Dev.WordsWritten)
+	}
+	if noIO.Dev.WordsWritten != noIO.Dev.WordBudget {
+		t.Errorf("no-partial-IO must transfer the full budget, got %d of %d",
+			noIO.Dev.WordsWritten, noIO.Dev.WordBudget)
+	}
+	// Activations stay partial (the ablation only disables the transfer
+	// saving, not the activation saving).
+	if noIO.Dev.AvgGranularity() >= 8 {
+		t.Error("no-partial-IO must still activate partially")
+	}
+}

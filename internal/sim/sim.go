@@ -1,0 +1,333 @@
+// Package sim wires the substrates into the paper's evaluation platform —
+// the role gem5+DRAMSim2 play in the original work: four out-of-order cores
+// (internal/cpu) over a two-level FGD cache hierarchy (internal/cache), a
+// multi-channel FR-FCFS memory controller (internal/memctrl) driving
+// cycle-level DDR3 channels (internal/dram) with the Micron/CACTI power
+// model (internal/power), fed by the synthetic benchmark generators
+// (internal/workload). It also hosts the weighted-speedup harness and the
+// experiment drivers that regenerate every table and figure of the paper's
+// evaluation (Section 5).
+package sim
+
+import (
+	"fmt"
+
+	"pradram/internal/cache"
+	"pradram/internal/cpu"
+	"pradram/internal/dram"
+	"pradram/internal/memctrl"
+	"pradram/internal/power"
+	"pradram/internal/trace"
+	"pradram/internal/workload"
+)
+
+// CPUClockGHz is the core clock (Table 3).
+const CPUClockGHz = 3.2
+
+// CPUCycleNs is one CPU cycle in nanoseconds.
+const CPUCycleNs = 1.0 / CPUClockGHz
+
+// Config describes one simulation run.
+type Config struct {
+	// Workload is a benchmark name (run as identical instances on all
+	// active cores) or a MIXn name from Table 4.
+	Workload string
+	Scheme   memctrl.Scheme
+	Policy   memctrl.Policy
+	// DBI enables the Dirty-Block-Index proactive writeback case study.
+	DBI bool
+
+	// ECC models an x72 ECC DIMM whose ninth chip always fully activates
+	// (Section 4.2).
+	ECC bool
+
+	// Capture records the DRAM request stream (line fills and dirty
+	// writebacks with FGD masks) during the measured window; retrieve it
+	// with System.Trace and replay it with the trace package.
+	Capture bool
+
+	// Ablation knobs for the PRA design-choice studies (see
+	// memctrl.Config): each disables one element of the full scheme.
+	NoTimingRelax bool
+	NoPartialIO   bool
+	NoMaskCycle   bool
+
+	Cores        int   // total cores (4 in the paper)
+	ActiveCores  int   // cores that execute (1 for IPC_alone runs); 0 = all
+	InstrPerCore int64 // retire target per active core (after warmup)
+	// WarmupPerCore runs this many instructions per core before resetting
+	// all statistics, so short runs measure steady-state behaviour (the
+	// paper fast-forwards to SimPoint regions for the same reason). The
+	// main use is populating the 4MB L2 so dirty evictions — the traffic
+	// PRA acts on — flow at their steady-state rate.
+	WarmupPerCore int64
+	Seed          uint64
+
+	// MaxCycles aborts a run that stopped making progress; 0 derives a
+	// generous bound from InstrPerCore.
+	MaxCycles int64
+
+	CPU cpu.Config
+
+	// Generator, when non-nil, overrides the named workload with a custom
+	// maker on every active core (Workload then only labels the run) —
+	// the hook the synthetic sensitivity sweeps use.
+	Generator workload.Maker
+
+	// Timing overrides the DDR3 timing set (e.g. a dram.SpeedGrades
+	// entry); CPUPerMem must be set alongside it when the clock ratio
+	// changes. Nil keeps the DDR3-1600 default.
+	Timing    *dram.Timing
+	CPUPerMem int64
+}
+
+// DefaultConfig returns the paper's baseline system for a workload.
+func DefaultConfig(workloadName string) Config {
+	return Config{
+		Workload:     workloadName,
+		Scheme:       memctrl.Baseline,
+		Policy:       memctrl.RelaxedClose,
+		Cores:        4,
+		InstrPerCore: 1_000_000,
+		Seed:         1,
+		CPU:          cpu.DefaultConfig(),
+	}
+}
+
+// Validate reports the first configuration problem.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0:
+		return fmt.Errorf("sim: cores must be positive")
+	case c.ActiveCores < 0 || c.ActiveCores > c.Cores:
+		return fmt.Errorf("sim: active cores %d out of range [0,%d]", c.ActiveCores, c.Cores)
+	case c.InstrPerCore <= 0:
+		return fmt.Errorf("sim: instruction target must be positive")
+	case c.Workload == "":
+		return fmt.Errorf("sim: workload is required")
+	}
+	return c.CPU.Validate()
+}
+
+// mapping returns the paper's pairing of mapping to policy: row-interleaved
+// for relaxed close-page, line-interleaved for restricted close-page
+// (Section 5.1.2).
+func (c Config) mapping() memctrl.Mapping {
+	if c.Policy == memctrl.RestrictedClose {
+		return memctrl.LineInterleaved
+	}
+	return memctrl.RowInterleaved
+}
+
+// System is one assembled simulation instance.
+type System struct {
+	cfg   Config
+	ctrl  *memctrl.Controller
+	hier  *cache.Hierarchy
+	cores []*cpu.Core
+	apps  []string
+
+	now     int64 // current CPU cycle, for the trace capture
+	capBase int64 // capture timebase (reset to the warmup boundary)
+	cap     *trace.Capture
+}
+
+// New assembles a system from the configuration.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ActiveCores == 0 {
+		cfg.ActiveCores = cfg.Cores
+	}
+
+	mcfg := memctrl.DefaultConfig()
+	mcfg.Scheme = cfg.Scheme
+	mcfg.Policy = cfg.Policy
+	mcfg.Mapping = cfg.mapping()
+	mcfg.ECC = cfg.ECC
+	mcfg.NoTimingRelax = cfg.NoTimingRelax
+	mcfg.NoPartialIO = cfg.NoPartialIO
+	mcfg.NoMaskCycle = cfg.NoMaskCycle
+	if cfg.Timing != nil {
+		mcfg.Timing = *cfg.Timing
+	}
+	if cfg.CPUPerMem > 0 {
+		mcfg.CPUPerMem = cfg.CPUPerMem
+	}
+	ctrl, err := memctrl.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{cfg: cfg, ctrl: ctrl}
+	var backend cache.Backend = ctrl
+	if cfg.Capture {
+		s.cap = &trace.Capture{Inner: ctrl, Now: func() int64 { return s.now - s.capBase }}
+		backend = s.cap
+	}
+
+	ccfg := cache.DefaultConfig(cfg.ActiveCores)
+	ccfg.DBI = cfg.DBI
+	ccfg.RowKey = ctrl.RowKey
+	hier, err := cache.New(ccfg, backend)
+	if err != nil {
+		return nil, err
+	}
+	s.hier = hier
+
+	var apps []string
+	if cfg.Generator != nil {
+		apps = make([]string, cfg.ActiveCores)
+		for i := range apps {
+			apps[i] = cfg.Workload // label only
+		}
+	} else {
+		apps, err = workload.Set(cfg.Workload, cfg.Cores)
+		if err != nil {
+			return nil, err
+		}
+		apps = apps[:cfg.ActiveCores]
+	}
+	s.apps = apps
+	for i, app := range apps {
+		region := workload.Region{Base: uint64(i) << 30, Bytes: 1 << 30}
+		var gen cpu.Generator
+		if cfg.Generator != nil {
+			gen = cfg.Generator(i, cfg.Seed, region)
+		} else {
+			gen, err = workload.New(app, i, cfg.Seed, region)
+			if err != nil {
+				return nil, err
+			}
+		}
+		c, err := cpu.New(i, cfg.CPU, gen, hier)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s, nil
+}
+
+// Run executes the configured number of instructions on every active core
+// and returns the collected metrics. Cores that finish early keep running
+// (to preserve contention) until the slowest core reaches its target, as in
+// multiprogrammed SPEC-rate methodology; each core's IPC is measured at its
+// own finish point.
+func (s *System) Run() (Result, error) {
+	target := s.cfg.InstrPerCore
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = (target+s.cfg.WarmupPerCore)*2000 + 10_000_000
+	}
+
+	var cycle int64
+	// Warmup: run the requested instructions, then reset every statistic
+	// so the measured window sees steady-state cache and DRAM behaviour.
+	if s.cfg.WarmupPerCore > 0 {
+		warm := s.cfg.WarmupPerCore
+		remaining := len(s.cores)
+		done := make([]bool, len(s.cores))
+		for remaining > 0 {
+			if cycle >= maxCycles {
+				return Result{}, fmt.Errorf("sim: warmup made no progress after %d cycles", cycle)
+			}
+			s.now = cycle
+			s.hier.Tick(cycle)
+			for i, c := range s.cores {
+				c.Tick(cycle)
+				if !done[i] && c.Retired >= warm {
+					done[i] = true
+					remaining--
+				}
+			}
+			s.ctrl.Tick(cycle)
+			cycle++
+		}
+		for _, c := range s.cores {
+			c.ResetStats()
+		}
+		s.hier.ResetStats()
+		s.ctrl.ResetStats()
+		if s.cap != nil {
+			// Drop warmup traffic and rebase capture time to the measured
+			// window so replays start at cycle zero.
+			s.cap.Trace.Records = s.cap.Trace.Records[:0]
+			s.capBase = cycle
+		}
+	}
+
+	finish := make([]int64, len(s.cores))
+	for i := range finish {
+		finish[i] = -1
+	}
+	remaining := len(s.cores)
+	start := cycle
+	for remaining > 0 {
+		if cycle >= maxCycles {
+			return Result{}, fmt.Errorf("sim: no progress after %d cycles (%d cores unfinished)", cycle, remaining)
+		}
+		s.now = cycle
+		s.hier.Tick(cycle)
+		for i, c := range s.cores {
+			c.Tick(cycle)
+			if finish[i] < 0 && c.Retired >= target {
+				finish[i] = cycle - start + 1
+				remaining--
+			}
+		}
+		s.ctrl.Tick(cycle)
+		cycle++
+	}
+	cycle -= start
+
+	res := Result{
+		Workload: s.cfg.Workload,
+		Scheme:   s.cfg.Scheme,
+		Policy:   s.cfg.Policy,
+		DBI:      s.cfg.DBI,
+		Apps:     append([]string(nil), s.apps...),
+		Cycles:   cycle,
+		CoreIPC:  make([]float64, len(s.cores)),
+		Ctrl:     s.ctrl.Stats(),
+		Dev:      s.ctrl.DeviceStats(),
+		Cache:    s.hier.Stats,
+		Energy:   s.ctrl.Energy(),
+	}
+	for i := range s.cores {
+		res.CoreIPC[i] = float64(target) / float64(finish[i])
+	}
+	return res, nil
+}
+
+// Trace returns the request stream captured over the measured window, or
+// nil when Config.Capture was off. Replay it with the trace package.
+func (s *System) Trace() *trace.Trace {
+	if s.cap == nil {
+		return nil
+	}
+	return &s.cap.Trace
+}
+
+// Hierarchy exposes the cache hierarchy (for cache-only experiments such
+// as Figure 3).
+func (s *System) Hierarchy() *cache.Hierarchy { return s.hier }
+
+// Controller exposes the memory controller.
+func (s *System) Controller() *memctrl.Controller { return s.ctrl }
+
+// RunOne is the convenience path: build and run a config.
+func RunOne(cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}
+
+// interface checks
+var _ cache.Backend = (*memctrl.Controller)(nil)
+var _ cpu.MemPort = (*cache.Hierarchy)(nil)
+var _ = dram.DefaultTiming
+var _ = power.DefaultChipPowers

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"pradram/internal/memctrl"
+)
+
+func TestHalfDRAMPRACombination(t *testing.T) {
+	base, err := RunOne(quickCfg("GUPS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg("GUPS")
+	cfg.Scheme = memctrl.HalfDRAMPRA
+	combo, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheme = memctrl.PRA
+	pra, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The combined scheme stacks Half-DRAM's read-side saving on PRA's
+	// write-side saving: lower power than either alone (paper Fig. 14).
+	if combo.AvgPowerMW() >= pra.AvgPowerMW() {
+		t.Errorf("HalfDRAM+PRA power %.1f must beat PRA %.1f", combo.AvgPowerMW(), pra.AvgPowerMW())
+	}
+	if combo.AvgPowerMW() >= base.AvgPowerMW() {
+		t.Error("combined scheme must beat baseline")
+	}
+}
+
+func TestWarmupResetsStatistics(t *testing.T) {
+	cfg := quickCfg("GUPS")
+	cfg.InstrPerCore = 40_000
+	cfg.WarmupPerCore = 40_000
+	res, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IPC is measured over the post-warmup window only: cycles must be
+	// consistent with the per-core finish points.
+	for i, ipc := range res.CoreIPC {
+		if ipc <= 0 {
+			t.Errorf("core %d post-warmup IPC = %v", i, ipc)
+		}
+	}
+	// The measured window must not include warmup retirement.
+	if res.Cycles <= 0 {
+		t.Error("measured cycles must be positive")
+	}
+	// Energy accrues only after the reset: average power must be in a
+	// physically sensible band (hundreds of mW to a few W for 32 chips).
+	if p := res.AvgPowerMW(); p < 500 || p > 20_000 {
+		t.Errorf("avg power %.1f mW outside sanity band", p)
+	}
+}
+
+func TestMaxCyclesAborts(t *testing.T) {
+	cfg := quickCfg("GUPS")
+	cfg.MaxCycles = 10 // absurdly small: must abort, not hang
+	_, err := RunOne(cfg)
+	if err == nil || !strings.Contains(err.Error(), "no progress") {
+		t.Errorf("tiny MaxCycles must abort with a progress error, got %v", err)
+	}
+}
+
+func TestActiveCoresSubset(t *testing.T) {
+	cfg := quickCfg("MIX1")
+	cfg.ActiveCores = 2
+	cfg.InstrPerCore = 20_000
+	res, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != 2 || res.Apps[0] != "bzip2" || res.Apps[1] != "lbm" {
+		t.Errorf("active subset apps = %v", res.Apps)
+	}
+}
+
+func TestSeedChangesWorkloadNotModel(t *testing.T) {
+	a, err := RunOne(quickCfg("em3d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg("em3d")
+	cfg.Seed = 7
+	b, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different seeds shift the exact numbers, but not the regime: both
+	// runs are memory-bound random-access with ~50/50 traffic.
+	if diff := a.ReadTrafficShare() - b.ReadTrafficShare(); diff > 0.05 || diff < -0.05 {
+		t.Errorf("traffic split unstable across seeds: %.3f vs %.3f",
+			a.ReadTrafficShare(), b.ReadTrafficShare())
+	}
+}
+
+func TestAvgReadLatencyPlausible(t *testing.T) {
+	res, err := RunOne(quickCfg("GUPS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A loaded DDR3 system: tens to hundreds of ns.
+	if l := res.AvgReadLatencyNs(); l < 20 || l > 2000 {
+		t.Errorf("avg read latency %.1f ns outside plausible band", l)
+	}
+}

@@ -1,0 +1,132 @@
+// Package stats provides the small counting and formatting helpers shared
+// by the simulator, the experiment harness, and the CLI tools: ratio-safe
+// division, fixed-bucket histograms, and plain-text table rendering for the
+// paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Ratio returns num/den, or 0 when den is 0. Every hit-rate and share in
+// the experiment reports goes through it so empty runs render as zeros
+// rather than NaNs.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Pct returns num/den as a percentage.
+func Pct(num, den float64) float64 { return 100 * Ratio(num, den) }
+
+// Hist is a fixed-bucket histogram of non-negative integer observations
+// (e.g. dirty words per line: buckets 0..8).
+type Hist struct {
+	Buckets []int64
+	N       int64
+}
+
+// NewHist creates a histogram with buckets 0..max.
+func NewHist(max int) *Hist { return &Hist{Buckets: make([]int64, max+1)} }
+
+// Add records one observation; out-of-range values clamp to the edges.
+func (h *Hist) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.Buckets) {
+		v = len(h.Buckets) - 1
+	}
+	h.Buckets[v]++
+	h.N++
+}
+
+// Share returns bucket b's fraction of all observations.
+func (h *Hist) Share(b int) float64 {
+	if b < 0 || b >= len(h.Buckets) {
+		return 0
+	}
+	return Ratio(float64(h.Buckets[b]), float64(h.N))
+}
+
+// Mean returns the average observed value.
+func (h *Hist) Mean() float64 {
+	var sum int64
+	for v, c := range h.Buckets {
+		sum += int64(v) * c
+	}
+	return Ratio(float64(sum), float64(h.N))
+}
+
+// Merge adds other's buckets into h; histograms must have the same size.
+func (h *Hist) Merge(other *Hist) {
+	for i, c := range other.Buckets {
+		h.Buckets[i] += c
+	}
+	h.N += other.N
+}
+
+// Table renders aligned plain-text tables for the experiment reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; cells are formatted with %v, floats with 3 decimals.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with column alignment.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

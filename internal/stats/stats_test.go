@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatioAndPct(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("division by zero must yield 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Error("Ratio(3,4) != 0.75")
+	}
+	if Pct(1, 4) != 25 {
+		t.Error("Pct(1,4) != 25")
+	}
+}
+
+func TestHistBasics(t *testing.T) {
+	h := NewHist(8)
+	for i := 0; i < 4; i++ {
+		h.Add(1)
+	}
+	h.Add(8)
+	h.Add(100) // clamps to 8
+	h.Add(-3)  // clamps to 0
+	if h.N != 7 {
+		t.Errorf("N = %d, want 7", h.N)
+	}
+	if h.Buckets[8] != 2 || h.Buckets[0] != 1 {
+		t.Error("clamping failed")
+	}
+	if got := h.Share(1); got != 4.0/7 {
+		t.Errorf("Share(1) = %v", got)
+	}
+	if h.Share(-1) != 0 || h.Share(99) != 0 {
+		t.Error("out-of-range share must be 0")
+	}
+	want := (4.0*1 + 2*8 + 0) / 7
+	if got := h.Mean(); got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := NewHist(4), NewHist(4)
+	a.Add(1)
+	b.Add(2)
+	b.Add(2)
+	a.Merge(b)
+	if a.N != 3 || a.Buckets[2] != 2 {
+		t.Error("merge failed")
+	}
+}
+
+func TestHistSharesSumToOne(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewHist(8)
+		for _, v := range vals {
+			h.Add(int(v % 12))
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		var sum float64
+		for i := range h.Buckets {
+			sum += h.Share(i)
+		}
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("b", 42)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") || !strings.Contains(out, "42") {
+		t.Errorf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4 (header, rule, 2 rows)", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("rule width %d != header width %d", len(lines[1]), len(lines[0]))
+	}
+}

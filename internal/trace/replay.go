@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+
+	"pradram/internal/dram"
+	"pradram/internal/memctrl"
+	"pradram/internal/power"
+)
+
+// ReplayResult carries the metrics of one trace replay.
+type ReplayResult struct {
+	Cycles    int64 // CPU cycles until the last request completed
+	Reads     int64
+	Writes    int64
+	Ctrl      memctrl.Stats
+	Dev       dram.Stats
+	Energy    power.Breakdown
+	AvgReadNs float64
+}
+
+// AvgPowerMW returns the average DRAM power over the replay.
+func (r ReplayResult) AvgPowerMW() float64 {
+	ns := float64(r.Cycles) * 0.3125 // 3.2 GHz CPU clock
+	if ns <= 0 {
+		return 0
+	}
+	return r.Energy.Total() / ns
+}
+
+// Replay feeds a recorded request stream into a fresh controller built
+// from cfg, preserving arrival times (with backpressure allowed to slip
+// them), and runs until every request completes. Request ordering and
+// addresses are exactly those of the capture; only the scheme/policy under
+// test differs — the fast what-if path.
+func Replay(t *Trace, cfg memctrl.Config) (ReplayResult, error) {
+	ctrl, err := memctrl.New(cfg)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	var res ReplayResult
+	outstanding := 0
+	i := 0
+	cycle := int64(0)
+	// A generous bound: replays are short, but a scheduling bug must not
+	// hang the caller.
+	last := int64(0)
+	if n := len(t.Records); n > 0 {
+		last = t.Records[n-1].At
+	}
+	maxCycles := last + int64(len(t.Records))*2000 + 10_000_000
+
+	for i < len(t.Records) || outstanding > 0 || ctrl.Pending() {
+		if cycle > maxCycles {
+			return res, fmt.Errorf("trace: replay stalled at cycle %d (%d records left, %d outstanding)",
+				cycle, len(t.Records)-i, outstanding)
+		}
+		for i < len(t.Records) && t.Records[i].At <= cycle {
+			rec := t.Records[i]
+			if rec.Write {
+				if !ctrl.Write(rec.Addr, rec.Mask) {
+					break // queue full: retry next cycle (time slips)
+				}
+				res.Writes++
+			} else {
+				if !ctrl.Read(rec.Addr, func(int64) { outstanding-- }) {
+					break
+				}
+				outstanding++
+				res.Reads++
+			}
+			i++
+		}
+		ctrl.Tick(cycle)
+		cycle++
+	}
+	res.Cycles = cycle
+	res.Ctrl = ctrl.Stats()
+	res.Dev = ctrl.DeviceStats()
+	res.Energy = ctrl.Energy()
+	res.AvgReadNs = float64(res.Ctrl.ReadLatencySum) / float64(max64(res.Ctrl.ReadsServed, 1)) * 1.25
+	return res, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

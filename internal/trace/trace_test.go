@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pradram/internal/core"
+	"pradram/internal/memctrl"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{Records: []Record{
+		{At: 0, Addr: 0x1000},
+		{At: 4, Write: true, Addr: 0x2040, Mask: core.StoreBytes(0, 8)},
+		{At: 4, Addr: 0x80_0000},
+		{At: 1000, Write: true, Addr: 0x3000, Mask: core.FullByteMask},
+	}}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("loaded %d records, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Errorf("record %d: %+v != %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+}
+
+func TestSaveLoadRoundTripProperty(t *testing.T) {
+	f := func(deltas []uint16, addrs []uint32, writes []bool) bool {
+		n := len(deltas)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(writes) < n {
+			n = len(writes)
+		}
+		tr := &Trace{}
+		at := int64(0)
+		for i := 0; i < n; i++ {
+			at += int64(deltas[i])
+			rec := Record{At: at, Addr: uint64(addrs[i]) &^ 63, Write: writes[i]}
+			if rec.Write {
+				rec.Mask = core.ByteMask(addrs[i]) | 1
+			}
+			tr.Records = append(tr.Records, rec)
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Records {
+			if got.Records[i] != tr.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaveRejectsUnorderedRecords(t *testing.T) {
+	tr := &Trace{Records: []Record{{At: 10, Addr: 0}, {At: 5, Addr: 64}}}
+	if err := tr.Save(&bytes.Buffer{}); err == nil {
+		t.Error("unordered trace must fail to save")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a trace")); err == nil {
+		t.Error("bad magic must fail")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty input must fail")
+	}
+	// Truncated body after valid magic.
+	var buf bytes.Buffer
+	tr := sampleTrace()
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace must fail")
+	}
+}
+
+type fakeBackend struct {
+	reads, writes int
+	accept        bool
+}
+
+func (f *fakeBackend) Read(addr uint64, done func(at int64)) bool {
+	if f.accept {
+		f.reads++
+	}
+	return f.accept
+}
+func (f *fakeBackend) Write(addr uint64, mask core.ByteMask) bool {
+	if f.accept {
+		f.writes++
+	}
+	return f.accept
+}
+
+func TestCaptureRecordsAcceptedOnly(t *testing.T) {
+	inner := &fakeBackend{accept: false}
+	now := int64(0)
+	c := &Capture{Inner: inner, Now: func() int64 { return now }}
+	if c.Read(0x40, func(int64) {}) {
+		t.Fatal("refusal must propagate")
+	}
+	if c.Trace.Len() != 0 {
+		t.Error("refused requests must not be recorded")
+	}
+	inner.accept = true
+	now = 7
+	c.Read(0x40, func(int64) {})
+	now = 9
+	c.Write(0x80, core.StoreBytes(0, 8))
+	if c.Trace.Len() != 2 {
+		t.Fatalf("records = %d, want 2", c.Trace.Len())
+	}
+	if c.Trace.Records[0].At != 7 || c.Trace.Records[0].Write {
+		t.Errorf("read record wrong: %+v", c.Trace.Records[0])
+	}
+	if c.Trace.Records[1].At != 9 || !c.Trace.Records[1].Write || c.Trace.Records[1].Mask == 0 {
+		t.Errorf("write record wrong: %+v", c.Trace.Records[1])
+	}
+}
+
+func TestReplayServesAllRequests(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 200; i++ {
+		rec := Record{At: int64(i * 8), Addr: uint64(i) * 8192}
+		if i%3 == 0 {
+			rec.Write = true
+			rec.Mask = core.StoreBytes(0, 8)
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	res, err := Replay(tr, memctrl.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWrites := int64(67) // ceil(200/3)
+	if res.Reads+res.Writes != 200 || res.Writes != wantWrites {
+		t.Errorf("reads/writes = %d/%d", res.Reads, res.Writes)
+	}
+	if res.Ctrl.ReadsServed != res.Reads {
+		t.Errorf("served %d reads, enqueued %d", res.Ctrl.ReadsServed, res.Reads)
+	}
+	if res.Energy.Total() <= 0 || res.AvgPowerMW() <= 0 {
+		t.Error("replay must accrue energy")
+	}
+	if res.AvgReadNs <= 0 {
+		t.Error("read latency must be positive")
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 100; i++ {
+		tr.Records = append(tr.Records, Record{At: int64(i * 4), Addr: uint64(i*64) % (1 << 20)})
+	}
+	a, err := Replay(tr, memctrl.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(tr, memctrl.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Energy != b.Energy {
+		t.Error("replay must be deterministic")
+	}
+}
+
+// A PRA replay of a write-heavy trace with partial masks must use less
+// power than a baseline replay of the same trace — the fast what-if path
+// working end to end.
+func TestReplaySchemeWhatIf(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 500; i++ {
+		tr.Records = append(tr.Records, Record{
+			At:    int64(i * 6),
+			Write: true,
+			Addr:  (uint64(i) * 524288) % (2 << 30),
+			Mask:  core.StoreBytes((i%8)*8, 8),
+		})
+	}
+	baseCfg := memctrl.DefaultConfig()
+	base, err := Replay(tr, baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	praCfg := memctrl.DefaultConfig()
+	praCfg.Scheme = memctrl.PRA
+	pra, err := Replay(tr, praCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pra.AvgPowerMW() >= base.AvgPowerMW() {
+		t.Errorf("PRA replay power %.1f must be below baseline %.1f", pra.AvgPowerMW(), base.AvgPowerMW())
+	}
+	if pra.Dev.AvgGranularity() >= 8 {
+		t.Error("PRA replay must show partial activations")
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	res, err := Replay(&Trace{}, memctrl.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads != 0 || res.Writes != 0 {
+		t.Error("empty trace must serve nothing")
+	}
+}

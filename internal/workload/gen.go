@@ -1,0 +1,204 @@
+// Package workload provides synthetic instruction-stream generators that
+// stand in for the paper's benchmarks (SPEC CPU2006 bzip2/lbm/libquantum/
+// mcf/omnetpp, Olden em3d, and the GUPS and LinkedList microbenchmarks),
+// which cannot be vendored here. Each generator is a small model of the
+// benchmark's memory behaviour — working-set size, sequential-run
+// structure, read/write mix, dependence chains, and store byte patterns —
+// calibrated against the characteristics the paper publishes per benchmark:
+// Table 1 (row-buffer hit rates, traffic split, activation split) and
+// Figure 3 (dirty words per evicted line). The calibration is enforced by
+// tests in the sim package.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"pradram/internal/core"
+	"pradram/internal/cpu"
+)
+
+// Region is the private physical-address slab one core's workload instance
+// lives in (the paper runs four identical single-threaded instances, i.e.
+// SPEC "rate" style, so instances never share data).
+type Region struct {
+	Base  uint64
+	Bytes uint64
+}
+
+// lines returns the region size in cache lines.
+func (r Region) lines() uint64 { return r.Bytes / core.LineBytes }
+
+// sub carves a sub-region of the given size at a line-aligned offset.
+func (r Region) sub(offBytes, sizeBytes uint64) Region {
+	if offBytes+sizeBytes > r.Bytes {
+		sizeBytes = r.Bytes - offBytes
+	}
+	return Region{Base: r.Base + offBytes, Bytes: sizeBytes}
+}
+
+// randLine returns a random line-aligned address in the region.
+func (r Region) randLine(rng *RNG) uint64 {
+	return r.Base + uint64(rng.Intn(int(r.lines())))*core.LineBytes
+}
+
+// seqStream walks a region line by line with a configurable stride,
+// wrapping at the end. It models the streaming arrays of libquantum, lbm,
+// and the sequential phases of the SPEC integer codes.
+type seqStream struct {
+	region      Region
+	pos         uint64 // line index within region
+	strideLines uint64
+}
+
+func newSeqStream(r Region, strideLines uint64) *seqStream {
+	if strideLines == 0 {
+		strideLines = 1
+	}
+	return &seqStream{region: r, strideLines: strideLines}
+}
+
+// next returns the current line address and advances.
+func (s *seqStream) next() uint64 {
+	addr := s.region.Base + s.pos*core.LineBytes
+	s.pos += s.strideLines
+	if s.pos >= s.region.lines() {
+		s.pos %= s.strideLines // keep substream phase when striding
+		if s.strideLines == 1 {
+			s.pos = 0
+		}
+	}
+	return addr
+}
+
+// visitGen is the common machinery of all generators: a visit function
+// refills an op queue, Next drains it one op at a time.
+type visitGen struct {
+	name  string
+	rng   *RNG
+	queue []cpu.Op
+	head  int
+	visit func(g *visitGen)
+}
+
+var _ cpu.Generator = (*visitGen)(nil)
+
+func (g *visitGen) Name() string { return g.name }
+
+func (g *visitGen) Next(op *cpu.Op) {
+	for g.head >= len(g.queue) {
+		g.queue = g.queue[:0]
+		g.head = 0
+		g.visit(g)
+	}
+	*op = g.queue[g.head]
+	g.head++
+}
+
+func (g *visitGen) compute(n int) {
+	for i := 0; i < n; i++ {
+		g.queue = append(g.queue, cpu.Op{Kind: cpu.Compute})
+	}
+}
+
+func (g *visitGen) load(addr uint64) {
+	g.queue = append(g.queue, cpu.Op{Kind: cpu.Load, Addr: addr})
+}
+
+func (g *visitGen) loadDep(addr uint64) {
+	g.queue = append(g.queue, cpu.Op{Kind: cpu.Load, Addr: addr, Dep: true})
+}
+
+// store emits a store of size bytes at byte offset off within addr's line.
+func (g *visitGen) store(addr uint64, off, size int) {
+	line := addr &^ (core.LineBytes - 1)
+	g.queue = append(g.queue, cpu.Op{
+		Kind:  cpu.Store,
+		Addr:  line + uint64(off),
+		Bytes: core.StoreBytes(off, size),
+	})
+}
+
+// Maker builds a generator instance for one core.
+type Maker func(coreID int, seed uint64, region Region) cpu.Generator
+
+var benchmarks = map[string]Maker{
+	"bzip2":      newBzip2,
+	"lbm":        newLbm,
+	"libquantum": newLibquantum,
+	"mcf":        newMcf,
+	"omnetpp":    newOmnetpp,
+	"em3d":       newEm3d,
+	"GUPS":       newGUPS,
+	"LinkedList": newLinkedList,
+}
+
+// Names returns the benchmark names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(benchmarks))
+	for n := range benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New builds the named benchmark generator.
+func New(name string, coreID int, seed uint64, region Region) (cpu.Generator, error) {
+	mk, ok := benchmarks[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	if region.Bytes < 1<<24 {
+		return nil, fmt.Errorf("workload: region too small (%d bytes); need at least 16MB", region.Bytes)
+	}
+	return mk(coreID, seed, region), nil
+}
+
+// Mixes are the multiprogrammed workloads of Table 4.
+var Mixes = map[string][]string{
+	"MIX1": {"bzip2", "lbm", "libquantum", "omnetpp"},
+	"MIX2": {"mcf", "em3d", "GUPS", "LinkedList"},
+	"MIX3": {"bzip2", "mcf", "lbm", "em3d"},
+	"MIX4": {"libquantum", "GUPS", "omnetpp", "LinkedList"},
+	"MIX5": {"bzip2", "LinkedList", "lbm", "GUPS"},
+	"MIX6": {"libquantum", "em3d", "omnetpp", "mcf"},
+}
+
+// MixNames returns the mix names in order.
+func MixNames() []string {
+	return []string{"MIX1", "MIX2", "MIX3", "MIX4", "MIX5", "MIX6"}
+}
+
+// Set resolves a workload-set name to one benchmark per core: a benchmark
+// name yields n identical instances (the paper's "four identical
+// instances of single-threaded applications"); a MIXn name yields Table 4's
+// combination.
+func Set(name string, cores int) ([]string, error) {
+	if apps, ok := Mixes[name]; ok {
+		if cores != len(apps) {
+			return nil, fmt.Errorf("workload: mix %s needs %d cores, have %d", name, len(apps), cores)
+		}
+		return apps, nil
+	}
+	if _, ok := benchmarks[name]; !ok {
+		return nil, fmt.Errorf("workload: unknown workload set %q", name)
+	}
+	apps := make([]string, cores)
+	for i := range apps {
+		apps[i] = name
+	}
+	return apps, nil
+}
+
+// SetNames returns all runnable workload-set names: 8 benchmarks (x4
+// instances) + 6 mixes = the paper's 14 workloads.
+func SetNames() []string { return append(Names(), MixNames()...) }
+
+func mixSeed(name string, coreID int, seed uint64) uint64 {
+	h := seed ^ 0x51_7C_C1_B7_27_22_0A_95
+	for _, c := range name {
+		h = (h ^ uint64(c)) * 0x100000001B3
+	}
+	return h ^ (uint64(coreID+1) * 0x9E3779B97F4A7C15)
+}

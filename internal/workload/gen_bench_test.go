@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"testing"
+
+	"pradram/internal/cpu"
+)
+
+func BenchmarkGenerators(b *testing.B) {
+	for _, name := range Names() {
+		b.Run(name, func(b *testing.B) {
+			g, err := New(name, 0, 1, testRegion())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var op cpu.Op
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Next(&op)
+			}
+		})
+	}
+}
+
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

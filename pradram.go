@@ -1,0 +1,117 @@
+// Package pradram is a full-system reproduction of "Partial Row Activation
+// for Low-Power DRAM System" (Lee, Kim, Hong, Kim — HPCA 2017): a
+// cycle-level DDR3 memory-system simulator with the paper's partial row
+// activation (PRA) scheme, its comparison points (fine-grained activation,
+// Half-DRAM, the Dirty-Block Index), the FGD cache hierarchy, an
+// out-of-order multicore front end, the Micron/CACTI power model, and
+// synthetic workloads calibrated to the paper's published benchmark
+// characteristics.
+//
+// The public API is a thin façade over the internal packages. Typical use:
+//
+//	cfg := pradram.DefaultConfig("GUPS")
+//	cfg.Scheme = pradram.PRA
+//	res, err := pradram.Run(cfg)
+//	fmt.Println(res.AvgPowerMW(), res.RowHitRateWrite())
+//
+// The experiment drivers that regenerate every table and figure of the
+// paper's evaluation are exposed through Experiments and NewRunner; the
+// praexp command wraps them.
+package pradram
+
+import (
+	"pradram/internal/memctrl"
+	"pradram/internal/sim"
+	"pradram/internal/workload"
+)
+
+// Scheme selects the row-activation architecture (Section 5.2 of the
+// paper).
+type Scheme = memctrl.Scheme
+
+// The schemes under study.
+const (
+	// Baseline is the conventional DRAM system.
+	Baseline = memctrl.Baseline
+	// FGA is half-row fine-grained activation with broken prefetch.
+	FGA = memctrl.FGA
+	// HalfDRAM is Zhang et al.'s half-row, full-bandwidth organization.
+	HalfDRAM = memctrl.HalfDRAM
+	// PRA is the paper's partial row activation for writes.
+	PRA = memctrl.PRA
+	// HalfDRAMPRA combines Half-DRAM with PRA (Section 5.2.3).
+	HalfDRAMPRA = memctrl.HalfDRAMPRA
+	// SDS is the Skinflint DRAM System, the inter-chip comparison point
+	// of Section 3 (writes skip clean chips).
+	SDS = memctrl.SDS
+)
+
+// Policy selects the row-buffer management policy.
+type Policy = memctrl.Policy
+
+// The row-buffer management policies of Section 5.1.2, plus the classic
+// open-page policy provided as an extension.
+const (
+	RelaxedClose    = memctrl.RelaxedClose
+	RestrictedClose = memctrl.RestrictedClose
+	OpenPage        = memctrl.OpenPage
+)
+
+// Config describes one simulation run; see DefaultConfig.
+type Config = sim.Config
+
+// Result carries the metrics of one run, with derived-metric methods
+// (AvgPowerMW, EDP, RowHitRate*, GranularityShare, WeightedSpeedup, ...).
+type Result = sim.Result
+
+// System is an assembled simulator instance.
+type System = sim.System
+
+// Experiment is one regenerable paper artifact (table or figure).
+type Experiment = sim.Experiment
+
+// ExpOptions controls experiment budgets.
+type ExpOptions = sim.ExpOptions
+
+// Runner executes experiment simulations with memoization.
+type Runner = sim.Runner
+
+// ParseScheme resolves a scheme name ("baseline", "fga", "halfdram",
+// "pra", "halfdram+pra").
+func ParseScheme(name string) (Scheme, error) { return memctrl.ParseScheme(name) }
+
+// ParsePolicy resolves a policy name ("relaxed", "restricted").
+func ParsePolicy(name string) (Policy, error) { return memctrl.ParsePolicy(name) }
+
+// DefaultConfig returns the paper's baseline 4-core system running the
+// named workload — one of Workloads() (run as four identical instances) or
+// Mixes() (Table 4 combinations).
+func DefaultConfig(workload string) Config { return sim.DefaultConfig(workload) }
+
+// NewSystem assembles a simulator from a configuration.
+func NewSystem(cfg Config) (*System, error) { return sim.New(cfg) }
+
+// Run builds and runs a configuration.
+func Run(cfg Config) (Result, error) { return sim.RunOne(cfg) }
+
+// Workloads lists the eight benchmark models.
+func Workloads() []string { return workload.Names() }
+
+// Mixes lists the six multiprogrammed mixes of Table 4.
+func Mixes() []string { return workload.MixNames() }
+
+// WorkloadSets lists every runnable workload set (benchmarks + mixes, the
+// paper's 14 workloads).
+func WorkloadSets() []string { return workload.SetNames() }
+
+// Experiments returns the paper's tables and figures in paper order.
+func Experiments() []Experiment { return sim.Experiments() }
+
+// ExperimentByID resolves an experiment by id (e.g. "fig12", "table1").
+func ExperimentByID(id string) (Experiment, error) { return sim.ExperimentByID(id) }
+
+// NewRunner builds an experiment runner with the given budgets.
+func NewRunner(opt ExpOptions) *Runner { return sim.NewRunner(opt) }
+
+// DefaultExpOptions returns the standard experiment budget.
+func DefaultExpOptions() ExpOptions { return sim.DefaultExpOptions() }

@@ -1,0 +1,81 @@
+package pradram_test
+
+import (
+	"testing"
+
+	"pradram"
+)
+
+func TestPublicAPISmoke(t *testing.T) {
+	cfg := pradram.DefaultConfig("GUPS")
+	cfg.InstrPerCore = 40_000
+	cfg.Scheme = pradram.PRA
+	res, err := pradram.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgPowerMW() <= 0 {
+		t.Error("power must be positive")
+	}
+	if res.Dev.AvgGranularity() >= 8 {
+		t.Error("PRA must reduce granularity on GUPS")
+	}
+}
+
+func TestPublicAPIListings(t *testing.T) {
+	if len(pradram.Workloads()) != 8 {
+		t.Errorf("workloads = %v, want 8", pradram.Workloads())
+	}
+	if len(pradram.Mixes()) != 6 {
+		t.Errorf("mixes = %v, want 6", pradram.Mixes())
+	}
+	if len(pradram.WorkloadSets()) != 14 {
+		t.Errorf("sets = %v, want 14", pradram.WorkloadSets())
+	}
+	if len(pradram.Experiments()) != 17 {
+		t.Errorf("experiments = %d, want 17", len(pradram.Experiments()))
+	}
+}
+
+func TestPublicParsers(t *testing.T) {
+	s, err := pradram.ParseScheme("pra")
+	if err != nil || s != pradram.PRA {
+		t.Errorf("ParseScheme(pra) = %v, %v", s, err)
+	}
+	p, err := pradram.ParsePolicy("restricted")
+	if err != nil || p != pradram.RestrictedClose {
+		t.Errorf("ParsePolicy(restricted) = %v, %v", p, err)
+	}
+}
+
+func TestPublicSystemConstruction(t *testing.T) {
+	cfg := pradram.DefaultConfig("MIX1")
+	cfg.InstrPerCore = 1000
+	sys, err := pradram.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys == nil {
+		t.Fatal("nil system")
+	}
+	if _, err := pradram.NewSystem(pradram.DefaultConfig("nope")); err == nil {
+		t.Error("unknown workload must fail")
+	}
+}
+
+func TestAnalyticExperimentThroughFacade(t *testing.T) {
+	e, err := pradram.ExperimentByID("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(pradram.NewRunner(pradram.DefaultExpOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Error("experiment output empty")
+	}
+	if _, err := pradram.ExperimentByID("nosuch"); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}
