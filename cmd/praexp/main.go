@@ -9,16 +9,23 @@
 //	praexp -exp all                # everything, in paper order
 //	praexp -list                   # enumerate experiment IDs
 //	praexp -exp fig13 -instr 2000000 -warmup 1000000
+//	praexp -exp all -j 8           # 8 simulations in flight
+//	praexp -exp all -cache ~/.cache/pradram   # reuse results across runs
 //
 // Simulation-backed experiments share a memoized run cache within one
 // invocation, so "-exp all" pays for each (workload, scheme, policy)
-// configuration once.
+// configuration once. Each experiment's configuration set is precomputed
+// across a -j-sized worker pool before its table is formatted; the tables
+// on stdout are byte-identical for every -j (timings go to stderr).
+// With -cache, results also persist on disk keyed by configuration,
+// budget, and model version, so repeated invocations skip simulation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"pradram/internal/sim"
@@ -26,11 +33,13 @@ import (
 
 func main() {
 	var (
-		expID  = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		instr  = flag.Int64("instr", 400_000, "measured instructions per core")
-		warmup = flag.Int64("warmup", 400_000, "warmup instructions per core")
-		seed   = flag.Uint64("seed", 1, "workload seed")
+		expID    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		instr    = flag.Int64("instr", 400_000, "measured instructions per core")
+		warmup   = flag.Int64("warmup", 400_000, "warmup instructions per core")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		workers  = flag.Int("j", runtime.NumCPU(), "max simulations in flight (worker pool size)")
+		cacheDir = flag.String("cache", "", "on-disk result cache directory (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -41,34 +50,47 @@ func main() {
 		return
 	}
 
-	runner := sim.NewRunner(sim.ExpOptions{Instr: *instr, Warmup: *warmup, Seed: *seed})
+	runner := sim.NewRunner(sim.ExpOptions{
+		Instr: *instr, Warmup: *warmup, Seed: *seed,
+		Workers: *workers, CacheDir: *cacheDir,
+	})
 
 	run := func(e sim.Experiment) error {
 		start := time.Now()
-		out, err := e.Run(runner)
+		out, err := runner.RunExperiment(e)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Printf("== %s: %s ==\n%s(%s, %v)\n\n", e.ID, e.Title, out, e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("== %s: %s ==\n%s\n", e.ID, e.Title, out)
+		fmt.Fprintf(os.Stderr, "(%s: %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 		return nil
 	}
 
+	start := time.Now()
 	if *expID == "all" {
+		// Warm the memo for the whole campaign in one wave, so the pool
+		// parallelizes across experiment boundaries too.
+		if err := runner.PrecomputeExperiments(sim.Experiments()); err != nil {
+			fmt.Fprintln(os.Stderr, "praexp:", err)
+			os.Exit(1)
+		}
 		for _, e := range sim.Experiments() {
 			if err := run(e); err != nil {
 				fmt.Fprintln(os.Stderr, "praexp:", err)
 				os.Exit(1)
 			}
 		}
-		return
+	} else {
+		e, err := sim.ExperimentByID(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "praexp:", err)
+			os.Exit(1)
+		}
+		if err := run(e); err != nil {
+			fmt.Fprintln(os.Stderr, "praexp:", err)
+			os.Exit(1)
+		}
 	}
-	e, err := sim.ExperimentByID(*expID)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "praexp:", err)
-		os.Exit(1)
-	}
-	if err := run(e); err != nil {
-		fmt.Fprintln(os.Stderr, "praexp:", err)
-		os.Exit(1)
-	}
+	fmt.Fprintf(os.Stderr, "(total: %v, %d simulations run, %d disk-cache hits, -j %d)\n",
+		time.Since(start).Round(time.Millisecond), runner.Simulations(), runner.DiskHits(), *workers)
 }

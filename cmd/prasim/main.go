@@ -1,4 +1,4 @@
-// Command prasim runs one workload on one DRAM scheme and prints the
+// Command prasim runs workloads on one DRAM scheme and prints the
 // measured statistics: performance, row-buffer behaviour, activation
 // granularity, and the DRAM power/energy breakdown.
 //
@@ -7,13 +7,23 @@
 //	prasim -workload GUPS -scheme pra
 //	prasim -workload MIX2 -scheme halfdram+pra -policy restricted
 //	prasim -workload libquantum -scheme baseline -instr 2000000 -dbi
+//	prasim -workload GUPS,em3d,MIX2 -j 3       # parallel fan-out
+//
+// -workload accepts a comma-separated list; the runs execute across a
+// -j-sized worker pool and the reports print in the order given, so the
+// output is identical for every -j (each run is deterministic and
+// independent). With -json, one JSON document is emitted per workload.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 
 	"pradram"
 	"pradram/internal/power"
@@ -22,7 +32,7 @@ import (
 
 func main() {
 	var (
-		workloadName = flag.String("workload", "GUPS", "benchmark or MIXn (see -list)")
+		workloadName = flag.String("workload", "GUPS", "benchmark or MIXn (comma-separated for a batch; see -list)")
 		schemeName   = flag.String("scheme", "baseline", "baseline | fga | halfdram | pra | halfdram+pra")
 		policyName   = flag.String("policy", "relaxed", "relaxed | restricted")
 		dbi          = flag.Bool("dbi", false, "enable Dirty-Block-Index proactive writeback")
@@ -33,6 +43,7 @@ func main() {
 		list         = flag.Bool("list", false, "list workloads and exit")
 		asJSON       = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 		ecc          = flag.Bool("ecc", false, "model an x72 ECC DIMM (Section 4.2)")
+		workers      = flag.Int("j", runtime.NumCPU(), "max simulations in flight for workload batches")
 	)
 	flag.Parse()
 
@@ -51,38 +62,71 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := pradram.DefaultConfig(*workloadName)
-	cfg.Scheme = scheme
-	cfg.Policy = policy
-	cfg.DBI = *dbi
-	cfg.ECC = *ecc
-	cfg.InstrPerCore = *instr
-	cfg.WarmupPerCore = *warmup
-	cfg.ActiveCores = *cores
-	cfg.Seed = *seed
-
-	res, err := pradram.Run(cfg)
-	if err != nil {
-		fatal(err)
+	names := strings.Split(*workloadName, ",")
+	configs := make([]pradram.Config, len(names))
+	for i, name := range names {
+		cfg := pradram.DefaultConfig(strings.TrimSpace(name))
+		cfg.Scheme = scheme
+		cfg.Policy = policy
+		cfg.DBI = *dbi
+		cfg.ECC = *ecc
+		cfg.InstrPerCore = *instr
+		cfg.WarmupPerCore = *warmup
+		cfg.ActiveCores = *cores
+		cfg.Seed = *seed
+		configs[i] = cfg
 	}
 
-	if *asJSON {
-		if err := emitJSON(res); err != nil {
-			fatal(err)
+	// Fan the independent runs out across the pool; reports still print
+	// in the order the workloads were given.
+	results := make([]pradram.Result, len(configs))
+	errs := make([]error, len(configs))
+	pool := *workers
+	if pool < 1 {
+		pool = 1
+	}
+	sem := make(chan struct{}, pool)
+	var wg sync.WaitGroup
+	for i := range configs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = pradram.Run(configs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if errs[i] != nil {
+			fatal(errs[i])
 		}
-		return
+		if *asJSON {
+			if err := emitJSON(os.Stdout, res); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		report(os.Stdout, res)
 	}
+}
 
-	fmt.Printf("workload %s  scheme %s  policy %s  dbi %v\n", res.Workload, res.Scheme, res.Policy, res.DBI)
-	fmt.Printf("apps: %v\n\n", res.Apps)
+// report renders the human-readable tables for one run.
+func report(w io.Writer, res pradram.Result) {
+	fmt.Fprintf(w, "workload %s  scheme %s  policy %s  dbi %v\n", res.Workload, res.Scheme, res.Policy, res.DBI)
+	fmt.Fprintf(w, "apps: %v\n\n", res.Apps)
 
 	perf := stats.NewTable("core", "app", "IPC")
 	for i, ipc := range res.CoreIPC {
 		perf.Row(i, res.Apps[i], ipc)
 	}
-	fmt.Println(perf.String())
+	fmt.Fprintln(w, perf.String())
 
-	fmt.Printf("cycles %d  runtime %.1f us  sum-IPC %.3f\n\n", res.Cycles, res.RuntimeNs()/1000, res.SumIPC())
+	fmt.Fprintf(w, "cycles %d  runtime %.1f us  sum-IPC %.3f\n\n", res.Cycles, res.RuntimeNs()/1000, res.SumIPC())
 
 	mem := stats.NewTable("metric", "value")
 	mem.Row("DRAM reads", res.Ctrl.ReadsServed)
@@ -96,13 +140,13 @@ func main() {
 	mem.Row("avg act granularity", fmt.Sprintf("%.2f/8", res.Dev.AvgGranularity()))
 	mem.Row("write words on bus", fmt.Sprintf("%d of %d", res.Dev.WordsWritten, res.Dev.WordBudget))
 	mem.Row("refreshes", res.Dev.Refreshes)
-	fmt.Println(mem.String())
+	fmt.Fprintln(w, mem.String())
 
 	gran := stats.NewTable("granularity", "share")
 	for g := 1; g <= 8; g++ {
 		gran.Row(fmt.Sprintf("%d/8", g), fmt.Sprintf("%.2f%%", 100*res.GranularityShare(g)))
 	}
-	fmt.Println(gran.String())
+	fmt.Fprintln(w, gran.String())
 
 	pw := stats.NewTable("component", "energy uJ", "share")
 	tot := res.Energy.Total()
@@ -110,8 +154,8 @@ func main() {
 		pw.Row(c.String(), res.Energy[c]/1e6, fmt.Sprintf("%.1f%%", 100*stats.Ratio(res.Energy[c], tot)))
 	}
 	pw.Row("TOTAL", tot/1e6, "100%")
-	fmt.Println(pw.String())
-	fmt.Printf("avg DRAM power %.1f mW   EDP %.3g pJ*ns\n", res.AvgPowerMW(), res.EDP())
+	fmt.Fprintln(w, pw.String())
+	fmt.Fprintf(w, "avg DRAM power %.1f mW   EDP %.3g pJ*ns\n", res.AvgPowerMW(), res.EDP())
 }
 
 // jsonReport is the machine-readable output shape of -json.
@@ -142,7 +186,7 @@ type jsonReport struct {
 	EDP        float64            `json:"edp_pj_ns"`
 }
 
-func emitJSON(res pradram.Result) error {
+func emitJSON(w io.Writer, res pradram.Result) error {
 	rep := jsonReport{
 		Workload: res.Workload,
 		Scheme:   res.Scheme.String(),
@@ -174,7 +218,7 @@ func emitJSON(res pradram.Result) error {
 	for c := power.Component(0); c < power.NumComponents; c++ {
 		rep.EnergyPJ[c.String()] = res.Energy[c]
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
 }

@@ -17,6 +17,7 @@ package cache
 import (
 	"container/heap"
 	"fmt"
+	"slices"
 
 	"pradram/internal/core"
 	"pradram/internal/stats"
@@ -466,7 +467,15 @@ func (h *Hierarchy) dbiSweepKey(k uint64) {
 	if !ok {
 		return
 	}
+	// Sweep in ascending line order: map iteration order is randomized, and
+	// the writeback sequence reaching the controller must be deterministic
+	// for runs to be reproducible bit-for-bit.
+	ids := make([]uint64, 0, len(set))
 	for id := range set {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
 		ln := h.l2.lookup(id, false)
 		if ln == nil {
 			continue

@@ -10,6 +10,7 @@ import (
 // With NoWeightedFAW set, partial activations charge full weight: the FAW
 // window binds after four 1/8 activations just as it does for full rows.
 func TestNoWeightedFAWDisablesRelaxation(t *testing.T) {
+	t.Parallel()
 	ch, err := NewChannel(DefaultTiming(), DefaultGeometry(), power.NewAccumulator())
 	if err != nil {
 		t.Fatal(err)
@@ -40,6 +41,7 @@ func TestNoWeightedFAWDisablesRelaxation(t *testing.T) {
 }
 
 func TestNextRefreshAtAdvances(t *testing.T) {
+	t.Parallel()
 	ch, err := NewChannel(DefaultTiming(), DefaultGeometry(), power.NewAccumulator())
 	if err != nil {
 		t.Fatal(err)
@@ -57,6 +59,7 @@ func TestNextRefreshAtAdvances(t *testing.T) {
 }
 
 func TestOpenBankCountAndReset(t *testing.T) {
+	t.Parallel()
 	ch, err := NewChannel(DefaultTiming(), DefaultGeometry(), power.NewAccumulator())
 	if err != nil {
 		t.Fatal(err)

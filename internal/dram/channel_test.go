@@ -27,6 +27,7 @@ func mustActivate(t *testing.T, c *Channel, at int64, r, b, row int, mask core.M
 }
 
 func TestConfigValidation(t *testing.T) {
+	t.Parallel()
 	bad := DefaultTiming()
 	bad.TRC = 5
 	if bad.Validate() == nil {
@@ -58,6 +59,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestGeometryCapacity(t *testing.T) {
+	t.Parallel()
 	g := DefaultGeometry()
 	// 2 ranks x 8 banks x 32K rows x 128 lines x 64B = 4GB per channel
 	// (2 channels = the paper's 8GB system).
@@ -67,6 +69,7 @@ func TestGeometryCapacity(t *testing.T) {
 }
 
 func TestActivateThenReadTiming(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	if err := c.Activate(0, 0, 0, 42, core.FullMask, false); err != nil {
 		t.Fatal(err)
@@ -90,6 +93,7 @@ func TestActivateThenReadTiming(t *testing.T) {
 }
 
 func TestPartialActivationExtraCycle(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	if err := c.Activate(0, 0, 0, 1, core.Mask(0x01), false); err != nil {
 		t.Fatal(err)
@@ -107,6 +111,7 @@ func TestPartialActivationExtraCycle(t *testing.T) {
 }
 
 func TestPartialActOccupiesCmdBusTwoCycles(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	if err := c.Activate(0, 0, 0, 1, core.Mask(0x03), false); err != nil {
 		t.Fatal(err)
@@ -119,6 +124,7 @@ func TestPartialActOccupiesCmdBusTwoCycles(t *testing.T) {
 }
 
 func TestPrechargeRules(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	if err := c.Precharge(0, 0, 0); err == nil {
 		t.Error("PRE to closed bank must fail")
@@ -147,6 +153,7 @@ func TestPrechargeRules(t *testing.T) {
 }
 
 func TestActToOpenBankFails(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	if err := c.Activate(0, 0, 0, 7, core.FullMask, false); err != nil {
 		t.Fatal(err)
@@ -158,6 +165,7 @@ func TestActToOpenBankFails(t *testing.T) {
 }
 
 func TestActValidation(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	if err := c.Activate(0, 0, 0, 7, 0, false); err == nil {
 		t.Error("empty mask must fail")
@@ -171,6 +179,7 @@ func TestActValidation(t *testing.T) {
 }
 
 func TestTRRDBetweenBanks(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	if err := c.Activate(0, 0, 0, 1, core.FullMask, false); err != nil {
 		t.Fatal(err)
@@ -182,6 +191,7 @@ func TestTRRDBetweenBanks(t *testing.T) {
 }
 
 func TestTRRDRelaxedForPartial(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	if err := c.Activate(0, 0, 0, 1, core.Mask(0x01), false); err != nil {
 		t.Fatal(err)
@@ -195,6 +205,7 @@ func TestTRRDRelaxedForPartial(t *testing.T) {
 }
 
 func TestTFAWLimitsFullActivations(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	var at int64
 	for b := 0; b < 4; b++ {
@@ -207,6 +218,7 @@ func TestTFAWLimitsFullActivations(t *testing.T) {
 }
 
 func TestTFAWRelaxedForPartialActivations(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	var at int64
 	// Sixteen 1/8 activations weigh 2.0 < 4: never FAW-limited; spacing is
@@ -224,6 +236,7 @@ func TestTFAWRelaxedForPartialActivations(t *testing.T) {
 }
 
 func TestHalfDRAMWeightsHalf(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	var at int64
 	// Eight half-weighted full-row ACTs sum to 4.0: all fit one window at
@@ -241,6 +254,7 @@ func TestHalfDRAMWeightsHalf(t *testing.T) {
 }
 
 func TestDataBusConflictBetweenReads(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	mustActivate(t, c, 0, 0, 0, 1, core.FullMask, false)
 	mustActivate(t, c, 0, 0, 1, 2, core.FullMask, false)
@@ -260,6 +274,7 @@ func TestDataBusConflictBetweenReads(t *testing.T) {
 }
 
 func TestWriteToReadTurnaround(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	mustActivate(t, c, 0, 0, 0, 1, core.FullMask, false)
 	wrAt := c.WriteReadyAt(20, 0, 0, c.T.TBURST)
@@ -274,6 +289,7 @@ func TestWriteToReadTurnaround(t *testing.T) {
 }
 
 func TestWriteRecoveryBeforePrecharge(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	mustActivate(t, c, 0, 0, 0, 1, core.FullMask, false)
 	wrAt := c.WriteReadyAt(0, 0, 0, c.T.TBURST)
@@ -288,6 +304,7 @@ func TestWriteRecoveryBeforePrecharge(t *testing.T) {
 }
 
 func TestAutoPrecharge(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	mustActivate(t, c, 0, 0, 0, 1, core.FullMask, false)
 	at := c.ReadReadyAt(0, 0, 0, c.T.TBURST)
@@ -303,6 +320,7 @@ func TestAutoPrecharge(t *testing.T) {
 }
 
 func TestColumnToClosedBankFails(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	if _, err := c.Read(0, 0, 0, 4, 1, false); err == nil {
 		t.Error("read from closed bank must fail")
@@ -313,6 +331,7 @@ func TestColumnToClosedBankFails(t *testing.T) {
 }
 
 func TestRefreshLifecycle(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	r := 0
 	if c.RefreshDue(0, r) {
@@ -354,6 +373,7 @@ func TestRefreshLifecycle(t *testing.T) {
 }
 
 func TestPowerDownAndWake(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	c.PowerDown(0, 0)
 	if !c.PoweredDown(0) {
@@ -396,6 +416,7 @@ func TestPowerDownAndWake(t *testing.T) {
 }
 
 func TestBackgroundAccountingStates(t *testing.T) {
+	t.Parallel()
 	acc := power.NewAccumulator()
 	c, err := NewChannel(DefaultTiming(), DefaultGeometry(), acc)
 	if err != nil {
@@ -435,6 +456,7 @@ func TestBackgroundAccountingStates(t *testing.T) {
 }
 
 func TestStatsWordAccounting(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	mustActivate(t, c, 0, 0, 0, 1, core.FullMask, false)
 	at := c.WriteReadyAt(0, 0, 0, c.T.TBURST)
@@ -447,6 +469,7 @@ func TestStatsWordAccounting(t *testing.T) {
 }
 
 func TestAvgGranularity(t *testing.T) {
+	t.Parallel()
 	var s Stats
 	if s.AvgGranularity() != 0 {
 		t.Error("empty stats average 0")
@@ -461,6 +484,7 @@ func TestAvgGranularity(t *testing.T) {
 // Property-style fuzz: a driver that always asks ReadyAt before issuing must
 // never see an error, and device invariants hold throughout.
 func TestRandomLegalCommandStream(t *testing.T) {
+	t.Parallel()
 	c := newTestChannel(t)
 	rng := rand.New(rand.NewSource(7))
 	now := int64(0)

@@ -14,6 +14,7 @@ import (
 // issues a random legal stream; the trace hook collects every ACT; the
 // checker replays the history.
 func TestWeightedFAWGoldenReference(t *testing.T) {
+	t.Parallel()
 	ch, err := NewChannel(DefaultTiming(), DefaultGeometry(), power.NewAccumulator())
 	if err != nil {
 		t.Fatal(err)
@@ -98,6 +99,7 @@ func TestWeightedFAWGoldenReference(t *testing.T) {
 // The same golden checks with relaxation disabled: every activation
 // charges full weight, so at most 4 fit any window regardless of masks.
 func TestUnweightedFAWGoldenReference(t *testing.T) {
+	t.Parallel()
 	ch, err := NewChannel(DefaultTiming(), DefaultGeometry(), power.NewAccumulator())
 	if err != nil {
 		t.Fatal(err)

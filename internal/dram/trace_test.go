@@ -11,6 +11,7 @@ import (
 )
 
 func TestCmdKindAndEventStrings(t *testing.T) {
+	t.Parallel()
 	events := []CmdEvent{
 		{At: 5, Kind: CmdAct, Rank: 0, Bank: 1, Row: 42, Mask: core.Mask(0x81)},
 		{At: 17, Kind: CmdRead, Rank: 0, Bank: 1, DataStart: 28, DataEnd: 32},
@@ -36,6 +37,7 @@ func TestCmdKindAndEventStrings(t *testing.T) {
 // mask transfer) relative to the conventional timing of Figure 7(b). The
 // golden trace pins the exact command cycles.
 func TestFigure7GoldenTrace(t *testing.T) {
+	t.Parallel()
 	run := func(mask core.Mask) []CmdEvent {
 		ch, err := NewChannel(DefaultTiming(), DefaultGeometry(), power.NewAccumulator())
 		if err != nil {
@@ -80,6 +82,7 @@ func TestFigure7GoldenTrace(t *testing.T) {
 // channel never overlap, reads deliver data CL after the command, writes
 // CWL after, and per-bank command ordering is ACT -> columns -> PRE.
 func TestBusAndOrderingInvariants(t *testing.T) {
+	t.Parallel()
 	ch, err := NewChannel(DefaultTiming(), DefaultGeometry(), power.NewAccumulator())
 	if err != nil {
 		t.Fatal(err)

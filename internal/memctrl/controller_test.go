@@ -37,6 +37,7 @@ func runUntil(t *testing.T, c *Controller, start, budget int64, cond func() bool
 func addrAt(c *Controller, l Loc) uint64 { return c.Mapper().Compose(l) }
 
 func TestConfigValidation(t *testing.T) {
+	t.Parallel()
 	good := DefaultConfig()
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
@@ -67,6 +68,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestSingleReadLatency(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, nil)
 	var doneAt int64 = -1
 	if !c.Read(0x1000, func(at int64) { doneAt = at }) {
@@ -85,6 +87,7 @@ func TestSingleReadLatency(t *testing.T) {
 }
 
 func TestRowHitsAndCap(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, nil)
 	done := 0
 	for col := 0; col < 8; col++ {
@@ -105,6 +108,7 @@ func TestRowHitsAndCap(t *testing.T) {
 }
 
 func TestPRAPartialWriteActivation(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.Scheme = PRA })
 	addr := addrAt(c, Loc{Row: 9})
 	if !c.Write(addr, core.StoreBytes(0, 8)) { // word 0 dirty
@@ -121,6 +125,7 @@ func TestPRAPartialWriteActivation(t *testing.T) {
 }
 
 func TestBaselineWriteIsFullRow(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, nil)
 	addr := addrAt(c, Loc{Row: 9})
 	c.Write(addr, core.StoreBytes(0, 8))
@@ -135,6 +140,7 @@ func TestBaselineWriteIsFullRow(t *testing.T) {
 }
 
 func TestPRAMaskMerging(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.Scheme = PRA })
 	// Two same-row writes with different dirty words, queued together:
 	// their masks OR into one 2/8 activation (Section 5.2.1).
@@ -152,6 +158,7 @@ func TestPRAMaskMerging(t *testing.T) {
 }
 
 func TestQueuedReadForcesFullActivation(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.Scheme = PRA })
 	c.Write(addrAt(c, Loc{Row: 9, Col: 0}), core.StoreBytes(0, 8))
 	done := false
@@ -169,6 +176,7 @@ func TestQueuedReadForcesFullActivation(t *testing.T) {
 }
 
 func TestFalseRowBufferHitOnRead(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.Scheme = PRA })
 	// Three same-row writes keep the partial row open (relaxed policy sees
 	// pending beneficiaries).
@@ -187,6 +195,7 @@ func TestFalseRowBufferHitOnRead(t *testing.T) {
 }
 
 func TestFalseRowBufferHitOnWrite(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.Scheme = PRA })
 	for i := 0; i < 3; i++ {
 		c.Write(addrAt(c, Loc{Row: 9, Col: i}), core.StoreBytes(0, 8)) // word 0
@@ -201,6 +210,7 @@ func TestFalseRowBufferHitOnWrite(t *testing.T) {
 }
 
 func TestWriteForwarding(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, nil)
 	addr := addrAt(c, Loc{Row: 3})
 	c.Write(addr, core.FullByteMask)
@@ -213,6 +223,7 @@ func TestWriteForwarding(t *testing.T) {
 }
 
 func TestWriteMergeInQueue(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.Scheme = PRA })
 	addr := addrAt(c, Loc{Row: 4})
 	c.Write(addr, core.StoreBytes(0, 8))
@@ -228,6 +239,7 @@ func TestWriteMergeInQueue(t *testing.T) {
 }
 
 func TestReadQueueLimit(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.ReadQ = 4 })
 	accepted := 0
 	for i := 0; i < 8; i++ {
@@ -245,6 +257,7 @@ func TestReadQueueLimit(t *testing.T) {
 }
 
 func TestWriteDrainWatermarks(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) {
 		cfg.WriteQ, cfg.HighWM, cfg.LowWM = 16, 8, 2
 	})
@@ -262,6 +275,7 @@ func TestWriteDrainWatermarks(t *testing.T) {
 }
 
 func TestRestrictedClosePolicyNoHits(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) {
 		cfg.Policy = RestrictedClose
 		cfg.Mapping = LineInterleaved
@@ -282,6 +296,7 @@ func TestRestrictedClosePolicyNoHits(t *testing.T) {
 }
 
 func TestFGAReadSlower(t *testing.T) {
+	t.Parallel()
 	latency := func(s Scheme) int64 {
 		c := newCtl(t, func(cfg *Config) { cfg.Scheme = s })
 		var doneAt int64 = -1
@@ -298,6 +313,7 @@ func TestFGAReadSlower(t *testing.T) {
 }
 
 func TestRefreshOccursWhenIdle(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, nil)
 	for cpu := int64(0); cpu < 4*8000; cpu++ { // > tREFI memory cycles
 		c.Tick(cpu)
@@ -308,6 +324,7 @@ func TestRefreshOccursWhenIdle(t *testing.T) {
 }
 
 func TestPowerDownWhenIdle(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, nil)
 	for cpu := int64(0); cpu < 4000; cpu++ {
 		c.Tick(cpu)
@@ -318,6 +335,7 @@ func TestPowerDownWhenIdle(t *testing.T) {
 }
 
 func TestHalfDRAMUsesLessActEnergy(t *testing.T) {
+	t.Parallel()
 	energyFor := func(s Scheme) float64 {
 		c := newCtl(t, func(cfg *Config) { cfg.Scheme = s })
 		done := false
@@ -331,6 +349,7 @@ func TestHalfDRAMUsesLessActEnergy(t *testing.T) {
 }
 
 func TestPRAWriteIOEnergyScales(t *testing.T) {
+	t.Parallel()
 	energyFor := func(s Scheme) float64 {
 		c := newCtl(t, func(cfg *Config) { cfg.Scheme = s })
 		c.Write(addrAt(c, Loc{Row: 2}), core.StoreBytes(0, 8))
@@ -345,6 +364,7 @@ func TestPRAWriteIOEnergyScales(t *testing.T) {
 }
 
 func TestPendingReflectsQueues(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, nil)
 	if c.Pending() {
 		t.Error("fresh controller must be idle")
@@ -361,6 +381,7 @@ func TestPendingReflectsQueues(t *testing.T) {
 }
 
 func TestChannelsSplitTraffic(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, nil)
 	served := 0
 	for i := 0; i < 16; i++ {

@@ -7,88 +7,143 @@ import (
 	"pradram/internal/core"
 )
 
-// Conservation fuzz: under random traffic, every accepted read completes
-// exactly once, served counts match accepted counts, device-level command
-// counts are consistent with controller-level stats, and every scheme
-// drains to idle. Runs the whole scheme x policy matrix.
+// checkConservation asserts the invariants that must hold after any
+// traffic pattern drains: every accepted read completed exactly once,
+// served counts match accepted counts, device-level command counts are
+// consistent with controller-level stats, and energy accrued.
+func checkConservation(t *testing.T, c *Controller, acceptedReads, acceptedWrites, completions int64) {
+	t.Helper()
+	s := c.Stats()
+	if completions != acceptedReads {
+		t.Errorf("read completions %d != accepted %d", completions, acceptedReads)
+	}
+	if s.ReadsServed != acceptedReads {
+		t.Errorf("served reads %d != accepted %d", s.ReadsServed, acceptedReads)
+	}
+	// Writes may merge in the queue: served <= accepted.
+	if s.WritesServed > acceptedWrites {
+		t.Errorf("served writes %d > accepted %d", s.WritesServed, acceptedWrites)
+	}
+	d := c.DeviceStats()
+	// Device reads exclude forwarded ones.
+	if d.Reads != s.ReadsServed-s.Forwarded {
+		t.Errorf("device reads %d != served-forwarded %d", d.Reads, s.ReadsServed-s.Forwarded)
+	}
+	if d.Writes != s.WritesServed {
+		t.Errorf("device writes %d != served %d", d.Writes, s.WritesServed)
+	}
+	// Hits + activations cover all device accesses: every column access
+	// either hit an open row or paid an ACT (false hits re-activate, so
+	// ACTs can exceed misses, but never undercut them).
+	misses := (d.Reads - (s.RowHitRead - s.Forwarded)) + (d.Writes - s.RowHitWrite)
+	if d.Activations() < misses {
+		t.Errorf("activations %d < misses %d", d.Activations(), misses)
+	}
+	if acceptedReads+acceptedWrites > 0 && c.Energy().Total() <= 0 {
+		t.Error("no energy accrued")
+	}
+}
+
+// driveRandomTraffic feeds seeded random traffic into a fresh controller,
+// drains it, and checks conservation. The shared harness behind both the
+// deterministic matrix test and the fuzz target.
+func driveRandomTraffic(t *testing.T, cfg Config, seed int64, cycles int64) {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var acceptedReads, acceptedWrites, completions int64
+	outstanding := 0
+	var cpu int64
+	for ; cpu < cycles; cpu++ {
+		if cpu%6 == 0 && outstanding < 40 {
+			addr := (rng.Uint64() % (4 << 30)) &^ 63
+			if rng.Intn(3) == 0 {
+				m := core.StoreBytes(rng.Intn(8)*8, 8*(1+rng.Intn(3)))
+				if c.Write(addr, m) {
+					acceptedWrites++
+				}
+			} else {
+				if c.Read(addr, func(int64) {
+					completions++
+					outstanding--
+				}) {
+					acceptedReads++
+					outstanding++
+				}
+			}
+		}
+		c.Tick(cpu)
+	}
+	// Drain.
+	for limit := cpu + 4*2_000_000; c.Pending() && cpu < limit; cpu++ {
+		c.Tick(cpu)
+	}
+	if c.Pending() {
+		t.Fatal("controller failed to drain")
+	}
+	checkConservation(t, c, acceptedReads, acceptedWrites, completions)
+}
+
+// Conservation fuzz: under random traffic, the conservation invariants
+// hold for the whole scheme x policy matrix.
 func TestTrafficConservationMatrix(t *testing.T) {
+	t.Parallel()
 	for _, scheme := range Schemes() {
 		for _, policy := range []Policy{RelaxedClose, RestrictedClose, OpenPage} {
 			scheme, policy := scheme, policy
 			name := scheme.String() + "/" + policy.String()
 			t.Run(name, func(t *testing.T) {
+				t.Parallel()
 				cfg := DefaultConfig()
 				cfg.Scheme = scheme
 				cfg.Policy = policy
 				if policy == RestrictedClose {
 					cfg.Mapping = LineInterleaved
 				}
-				c, err := New(cfg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				rng := rand.New(rand.NewSource(int64(scheme)*10 + int64(policy)))
-				var acceptedReads, acceptedWrites, completions int64
-				outstanding := 0
-				var cpu int64
-				for ; cpu < 4*60_000; cpu++ {
-					if cpu%6 == 0 && outstanding < 40 {
-						addr := (rng.Uint64() % (4 << 30)) &^ 63
-						if rng.Intn(3) == 0 {
-							m := core.StoreBytes(rng.Intn(8)*8, 8*(1+rng.Intn(3)))
-							if c.Write(addr, m) {
-								acceptedWrites++
-							}
-						} else {
-							if c.Read(addr, func(int64) {
-								completions++
-								outstanding--
-							}) {
-								acceptedReads++
-								outstanding++
-							}
-						}
-					}
-					c.Tick(cpu)
-				}
-				// Drain.
-				for limit := cpu + 4*2_000_000; c.Pending() && cpu < limit; cpu++ {
-					c.Tick(cpu)
-				}
-				if c.Pending() {
-					t.Fatal("controller failed to drain")
-				}
-				s := c.Stats()
-				if completions != acceptedReads {
-					t.Errorf("read completions %d != accepted %d", completions, acceptedReads)
-				}
-				if s.ReadsServed != acceptedReads {
-					t.Errorf("served reads %d != accepted %d", s.ReadsServed, acceptedReads)
-				}
-				// Writes may merge in the queue: served <= accepted.
-				if s.WritesServed > acceptedWrites {
-					t.Errorf("served writes %d > accepted %d", s.WritesServed, acceptedWrites)
-				}
-				d := c.DeviceStats()
-				// Device reads exclude forwarded ones.
-				if d.Reads != s.ReadsServed-s.Forwarded {
-					t.Errorf("device reads %d != served-forwarded %d", d.Reads, s.ReadsServed-s.Forwarded)
-				}
-				if d.Writes != s.WritesServed {
-					t.Errorf("device writes %d != served %d", d.Writes, s.WritesServed)
-				}
-				// Hits + activations cover all device accesses: every
-				// column access either hit an open row or paid an ACT
-				// (false hits re-activate, so ACTs can exceed misses, but
-				// never undercut them).
-				misses := (d.Reads - (s.RowHitRead - s.Forwarded)) + (d.Writes - s.RowHitWrite)
-				if d.Activations() < misses {
-					t.Errorf("activations %d < misses %d", d.Activations(), misses)
-				}
-				if c.Energy().Total() <= 0 {
-					t.Error("no energy accrued")
-				}
+				driveRandomTraffic(t, cfg, int64(scheme)*10+int64(policy), 4*60_000)
 			})
 		}
 	}
+}
+
+// FuzzTrafficConservation lets the fuzzer pick the scheme, policy, and
+// traffic seed. The seed corpus pins the configurations the parallel
+// experiment runner exercises hardest: under the concurrent cache every
+// distinct (workload, scheme, policy) key simulates exactly once, so the
+// PRA and baseline relaxed-close controllers see the densest shared-row
+// traffic (write merging, read forwarding — the controller's own cache
+// paths), and the restricted/line-interleaved pair covers the other
+// mapping. Run with: go test ./internal/memctrl -fuzz FuzzTrafficConservation
+func FuzzTrafficConservation(f *testing.F) {
+	// One seed per scheme at the default relaxed-close/row-interleaved
+	// pairing, plus restricted and open-page variants of PRA.
+	for _, s := range Schemes() {
+		f.Add(uint8(s), uint8(RelaxedClose), int64(1))
+	}
+	f.Add(uint8(PRA), uint8(RestrictedClose), int64(2))
+	f.Add(uint8(PRA), uint8(OpenPage), int64(3))
+	// The dedup-heavy interleavings: same seed, differing only in scheme,
+	// as produced when the worker pool runs a baseline/PRA pair of one
+	// workload concurrently.
+	f.Add(uint8(Baseline), uint8(RelaxedClose), int64(77))
+	f.Add(uint8(PRA), uint8(RelaxedClose), int64(77))
+
+	f.Fuzz(func(t *testing.T, schemeByte, policyByte uint8, seed int64) {
+		schemes := Schemes()
+		scheme := schemes[int(schemeByte)%len(schemes)]
+		policies := []Policy{RelaxedClose, RestrictedClose, OpenPage}
+		policy := policies[int(policyByte)%len(policies)]
+		cfg := DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.Policy = policy
+		if policy == RestrictedClose {
+			cfg.Mapping = LineInterleaved
+		}
+		// A shorter window than the matrix test keeps fuzz iterations
+		// fast; the drain bound and invariants are identical.
+		driveRandomTraffic(t, cfg, seed, 4*12_000)
+	})
 }

@@ -8,6 +8,7 @@ import (
 )
 
 func TestMapperValidation(t *testing.T) {
+	t.Parallel()
 	g := dram.DefaultGeometry()
 	if _, err := NewAddressMapper(RowInterleaved, 3, g); err == nil {
 		t.Error("non-power-of-two channels must fail")
@@ -23,6 +24,7 @@ func TestMapperValidation(t *testing.T) {
 }
 
 func TestDecomposeComposeRoundTrip(t *testing.T) {
+	t.Parallel()
 	g := dram.DefaultGeometry()
 	for _, m := range []Mapping{RowInterleaved, LineInterleaved} {
 		am, err := NewAddressMapper(m, 2, g)
@@ -45,6 +47,7 @@ func TestDecomposeComposeRoundTrip(t *testing.T) {
 }
 
 func TestRowInterleavedLocality(t *testing.T) {
+	t.Parallel()
 	am, _ := NewAddressMapper(RowInterleaved, 2, dram.DefaultGeometry())
 	// Consecutive lines on the same channel share a row until the column
 	// bits roll over: lines 0 and 2 (both channel 0).
@@ -69,6 +72,7 @@ func TestRowInterleavedLocality(t *testing.T) {
 }
 
 func TestLineInterleavedParallelism(t *testing.T) {
+	t.Parallel()
 	am, _ := NewAddressMapper(LineInterleaved, 2, dram.DefaultGeometry())
 	a, b := am.Decompose(0), am.Decompose(128) // consecutive channel-0 lines
 	if a.Bank == b.Bank {
@@ -77,6 +81,7 @@ func TestLineInterleavedParallelism(t *testing.T) {
 }
 
 func TestRowKeyDistinguishesCoordinates(t *testing.T) {
+	t.Parallel()
 	am, _ := NewAddressMapper(RowInterleaved, 2, dram.DefaultGeometry())
 	base := am.Compose(Loc{Channel: 0, Rank: 0, Bank: 0, Row: 10, Col: 0})
 	cases := []Loc{
@@ -97,6 +102,7 @@ func TestRowKeyDistinguishesCoordinates(t *testing.T) {
 }
 
 func TestSchemePolicyParsing(t *testing.T) {
+	t.Parallel()
 	for _, s := range Schemes() {
 		got, err := ParseScheme(s.String())
 		if err != nil || got != s {
@@ -120,6 +126,7 @@ func TestSchemePolicyParsing(t *testing.T) {
 }
 
 func TestSchemeProperties(t *testing.T) {
+	t.Parallel()
 	if !FGA.halfDRAMOrg() || !HalfDRAM.halfDRAMOrg() || !HalfDRAMPRA.halfDRAMOrg() {
 		t.Error("FGA/HalfDRAM/HalfDRAMPRA use the half organization")
 	}

@@ -7,6 +7,7 @@ import (
 )
 
 func TestOpenPageKeepsRowsOpen(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.Policy = OpenPage })
 	done := false
 	c.Read(addrAt(c, Loc{Row: 5, Col: 0}), func(int64) { done = true })
@@ -34,6 +35,7 @@ func TestOpenPageKeepsRowsOpen(t *testing.T) {
 }
 
 func TestOpenPageConflictCloses(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.Policy = OpenPage })
 	done := 0
 	c.Read(addrAt(c, Loc{Row: 5}), func(int64) { done++ })
@@ -48,6 +50,7 @@ func TestOpenPageConflictCloses(t *testing.T) {
 }
 
 func TestOpenPagePRAFalseHitsPersist(t *testing.T) {
+	t.Parallel()
 	// Under open-page a partially opened PRA row persists, so a much
 	// later read to it false-hits — the policy-sensitivity effect the
 	// extension exposes.
@@ -67,6 +70,7 @@ func TestOpenPagePRAFalseHitsPersist(t *testing.T) {
 }
 
 func TestOpenPageParsing(t *testing.T) {
+	t.Parallel()
 	p, err := ParsePolicy("open")
 	if err != nil || p != OpenPage {
 		t.Fatalf("ParsePolicy(open) = %v, %v", p, err)

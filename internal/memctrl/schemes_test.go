@@ -8,6 +8,7 @@ import (
 )
 
 func TestHalfDRAMPRAWrite(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.Scheme = HalfDRAMPRA })
 	addr := addrAt(c, Loc{Row: 6})
 	c.Write(addr, core.StoreBytes(0, 8))
@@ -28,6 +29,7 @@ func TestHalfDRAMPRAWrite(t *testing.T) {
 }
 
 func TestHalfDRAMPRAReadIsHalfRow(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.Scheme = HalfDRAMPRA })
 	done := false
 	c.Read(addrAt(c, Loc{Row: 6}), func(int64) { done = true })
@@ -47,6 +49,7 @@ func TestHalfDRAMPRAReadIsHalfRow(t *testing.T) {
 }
 
 func TestFGAWriteBurstLonger(t *testing.T) {
+	t.Parallel()
 	// FGA occupies the bus twice as long per write; two writes to the
 	// same open row are spaced >= 8 memory cycles apart.
 	c := newCtl(t, func(cfg *Config) { cfg.Scheme = FGA })
@@ -59,6 +62,7 @@ func TestFGAWriteBurstLonger(t *testing.T) {
 }
 
 func TestFGAIOEnergyMatchesBaseline(t *testing.T) {
+	t.Parallel()
 	ioEnergy := func(s Scheme) float64 {
 		c := newCtl(t, func(cfg *Config) { cfg.Scheme = s })
 		done := false
@@ -75,6 +79,7 @@ func TestFGAIOEnergyMatchesBaseline(t *testing.T) {
 }
 
 func TestAblationNoPartialIO(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) {
 		cfg.Scheme = PRA
 		cfg.NoPartialIO = true
@@ -91,6 +96,7 @@ func TestAblationNoPartialIO(t *testing.T) {
 }
 
 func TestAblationNoMaskCycle(t *testing.T) {
+	t.Parallel()
 	latency := func(noCycle bool) int64 {
 		c := newCtl(t, func(cfg *Config) {
 			cfg.Scheme = PRA
@@ -108,6 +114,7 @@ func TestAblationNoMaskCycle(t *testing.T) {
 }
 
 func TestAblationNoTimingRelaxEndToEnd(t *testing.T) {
+	t.Parallel()
 	// Eight same-bank-group partial writes: with relaxation they stream
 	// quickly; without, tRRD/tFAW pace them. Compare completion times.
 	finish := func(noRelax bool) int64 {
@@ -127,6 +134,7 @@ func TestAblationNoTimingRelaxEndToEnd(t *testing.T) {
 }
 
 func TestRestrictedPolicyWithPRA(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) {
 		cfg.Scheme = PRA
 		cfg.Policy = RestrictedClose
@@ -144,6 +152,7 @@ func TestRestrictedPolicyWithPRA(t *testing.T) {
 }
 
 func TestLineInterleavedController(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.Mapping = LineInterleaved })
 	served := 0
 	for i := 0; i < 8; i++ {
@@ -158,6 +167,7 @@ func TestLineInterleavedController(t *testing.T) {
 }
 
 func TestRefreshWithQueuedRequests(t *testing.T) {
+	t.Parallel()
 	c := newCtl(t, nil)
 	served := 0
 	// Enqueue a slow trickle of reads across a long window so a refresh

@@ -8,6 +8,7 @@ import (
 )
 
 func TestSDSChipMaskForFullWordStore(t *testing.T) {
+	t.Parallel()
 	// One fully dirty 8-byte word touches every byte position: SDS must
 	// access all 8 chips (full activation), while PRA would open 1 MAT
 	// group — the Section 3 asymmetry.
@@ -24,6 +25,7 @@ func TestSDSChipMaskForFullWordStore(t *testing.T) {
 }
 
 func TestSDSSkipsCleanChips(t *testing.T) {
+	t.Parallel()
 	// A 2-byte store dirties byte positions 0 and 1 only: SDS accesses 2
 	// chips; activation energy scales linearly (2/8 of full).
 	c := newCtl(t, func(cfg *Config) { cfg.Scheme = SDS })
@@ -45,6 +47,7 @@ func TestSDSSkipsCleanChips(t *testing.T) {
 }
 
 func TestSDSVsPRACoverage(t *testing.T) {
+	t.Parallel()
 	// The same dirty pattern — two full words — yields 2/8 under PRA
 	// (two MAT groups) but 8/8 under SDS (every byte position dirty).
 	pattern := core.StoreBytes(0, 8) | core.StoreBytes(24, 8)
@@ -64,6 +67,7 @@ func TestSDSVsPRACoverage(t *testing.T) {
 }
 
 func TestSDSNoExtraMaskCycle(t *testing.T) {
+	t.Parallel()
 	// SDS delivers its mask via DM pins: the column command is not
 	// delayed, so a partial SDS write completes no later than a PRA one.
 	finish := func(s Scheme) int64 {
@@ -77,6 +81,7 @@ func TestSDSNoExtraMaskCycle(t *testing.T) {
 }
 
 func TestSDSParsesAndLists(t *testing.T) {
+	t.Parallel()
 	s, err := ParseScheme("sds")
 	if err != nil || s != SDS {
 		t.Fatalf("ParseScheme(sds) = %v, %v", s, err)

@@ -45,6 +45,7 @@ func within(t *testing.T, name string, got, want, tol float64) {
 }
 
 func TestCalibrationTable1(t *testing.T) {
+	t.Parallel()
 	r := calibrationRunner(t)
 	// Tolerances: hit rates are emergent from generator + controller
 	// interplay; traffic splits are structural and tighter. libquantum's
@@ -88,6 +89,7 @@ func TestCalibrationTable1(t *testing.T) {
 }
 
 func TestCalibrationFig3DirtyWords(t *testing.T) {
+	t.Parallel()
 	r := calibrationRunner(t)
 	// Structural expectations from the paper's Figure 3, by store model.
 	for _, b := range []string{"GUPS", "LinkedList", "mcf"} {
@@ -116,6 +118,7 @@ func TestCalibrationFig3DirtyWords(t *testing.T) {
 }
 
 func TestCalibrationFig11GranularityMix(t *testing.T) {
+	t.Parallel()
 	r := calibrationRunner(t)
 	// Paper (relaxed policy, 14-workload average): 1/8-row 39%, full 58%,
 	// everything between small. Average over our 14 workloads.
@@ -136,6 +139,7 @@ func TestCalibrationFig11GranularityMix(t *testing.T) {
 }
 
 func TestCalibrationFig12HeadlineSavings(t *testing.T) {
+	t.Parallel()
 	r := calibrationRunner(t)
 	var actSum, ioSum, totSum float64
 	var n int
@@ -161,6 +165,7 @@ func TestCalibrationFig12HeadlineSavings(t *testing.T) {
 }
 
 func TestCalibrationFig13Performance(t *testing.T) {
+	t.Parallel()
 	r := calibrationRunner(t)
 	// PRA: near-zero performance loss (paper -0.8% avg, max -4.8%).
 	// FGA: significant loss (paper -14% avg). Check on a representative
@@ -197,6 +202,7 @@ func TestCalibrationFig13Performance(t *testing.T) {
 }
 
 func TestCalibrationFig10FalseHits(t *testing.T) {
+	t.Parallel()
 	r := calibrationRunner(t)
 	// Paper: false read hits are rare (avg 0.04%, max 0.26%).
 	var worst float64
@@ -215,6 +221,7 @@ func TestCalibrationFig10FalseHits(t *testing.T) {
 }
 
 func TestCalibrationWorkloadSetComplete(t *testing.T) {
+	t.Parallel()
 	if got := len(workloadOrder()); got != 14 {
 		t.Fatalf("evaluation set has %d workloads, want 14", got)
 	}

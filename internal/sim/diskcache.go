@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ModelVersion stamps disk-cached results with the simulation model's
+// semantic version. Bump it whenever a change alters simulated numbers,
+// so stale caches invalidate instead of silently resurfacing old results.
+const ModelVersion = "pradram-model-v1"
+
+// diskCache persists one Result per configuration as a JSON file under
+// dir, so repeated praexp invocations and CI reruns skip simulation
+// entirely. Entries are keyed by the runKey string, the experiment budget
+// (Instr/Warmup/Seed), and ModelVersion; anything else is a miss.
+type diskCache struct{ dir string }
+
+// diskEntry is the on-disk format. The key fields are stored in full (not
+// just hashed into the filename) so a load can verify it found the right
+// entry rather than trusting the hash.
+type diskEntry struct {
+	Key          string `json:"key"`
+	ModelVersion string `json:"model_version"`
+	Instr        int64  `json:"instr"`
+	Warmup       int64  `json:"warmup"`
+	Seed         uint64 `json:"seed"`
+	Result       Result `json:"result"`
+}
+
+func newDiskCache(dir string) *diskCache {
+	return &diskCache{dir: dir}
+}
+
+// matches reports whether an entry belongs to (key, opt) at the current
+// model version.
+func (e *diskEntry) matches(key string, opt ExpOptions) bool {
+	return e.Key == key && e.ModelVersion == ModelVersion &&
+		e.Instr == opt.Instr && e.Warmup == opt.Warmup && e.Seed == opt.Seed
+}
+
+func (d *diskCache) path(key string, opt ExpOptions) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%d|%d|%d",
+		ModelVersion, key, opt.Instr, opt.Warmup, opt.Seed)))
+	return filepath.Join(d.dir, hex.EncodeToString(h[:12])+".json")
+}
+
+// load returns the cached result for (key, opt), if present and valid.
+// Any read, decode, or verification failure is simply a miss — the run
+// re-simulates and overwrites the entry.
+func (d *diskCache) load(key string, opt ExpOptions) (Result, bool) {
+	raw, err := os.ReadFile(d.path(key, opt))
+	if err != nil {
+		return Result{}, false
+	}
+	var e diskEntry
+	if err := json.Unmarshal(raw, &e); err != nil || !e.matches(key, opt) {
+		return Result{}, false
+	}
+	return e.Result, true
+}
+
+// store writes the entry via a unique temp file plus atomic rename, so
+// concurrent writers (parallel workers, or two praexp processes sharing a
+// cache directory) can never interleave partial JSON.
+func (d *diskCache) store(key string, opt ExpOptions, res Result) error {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return err
+	}
+	raw, err := json.Marshal(diskEntry{
+		Key: key, ModelVersion: ModelVersion,
+		Instr: opt.Instr, Warmup: opt.Warmup, Seed: opt.Seed,
+		Result: res,
+	})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, ".pradram-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), d.path(key, opt))
+}

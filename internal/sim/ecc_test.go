@@ -7,6 +7,10 @@ import (
 )
 
 func TestECCReducesPRASavingButKeepsIt(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("four full runs with deep warmup; skipped with -short")
+	}
 	run := func(scheme memctrl.Scheme, ecc bool) Result {
 		cfg := quickCfg("GUPS")
 		cfg.Scheme = scheme

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"pradram/internal/memctrl"
 	"pradram/internal/power"
@@ -19,7 +21,17 @@ type ExpOptions struct {
 	Warmup int64  // warmup instructions per core before stats reset
 	Seed   uint64 // workload seed
 
-	cache map[string]Result
+	// Workers bounds how many simulations execute concurrently when the
+	// runner precomputes a key set; 0 means runtime.NumCPU(). Each RunOne
+	// is a pure function of its configuration, so the worker count changes
+	// wall-clock only, never results (enforced by determinism_test.go).
+	Workers int
+
+	// CacheDir, when non-empty, enables the on-disk result cache: every
+	// completed run is persisted as JSON keyed by the run configuration,
+	// the budget above, and ModelVersion, and later invocations — including
+	// separate processes and CI reruns — recall it instead of simulating.
+	CacheDir string
 }
 
 // DefaultExpOptions returns the standard experiment budget.
@@ -29,12 +41,30 @@ func DefaultExpOptions() ExpOptions {
 
 // Runner executes simulation runs with memoization, so experiments that
 // share configurations (Figures 12 and 13 use the same runs) pay once.
+// It is safe for concurrent use: the memo is mutex-guarded and duplicate
+// in-flight requests for one key are deduplicated (singleflight), so a key
+// simulates exactly once no matter how many goroutines ask for it.
 type Runner struct {
-	opt ExpOptions
+	opt  ExpOptions
+	disk *diskCache
+
+	mu       sync.Mutex
+	cache    map[string]Result
+	inflight map[string]*inflightRun
+
+	sims     atomic.Int64 // simulations actually executed
+	diskHits atomic.Int64 // runs recalled from the on-disk cache
 }
 
-// NewRunner builds a runner; results are cached inside opt for the
-// runner's lifetime.
+// inflightRun is one in-progress simulation other goroutines can wait on.
+type inflightRun struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// NewRunner builds a runner; results are cached inside it for the
+// runner's lifetime (and on disk when opt.CacheDir is set).
 func NewRunner(opt ExpOptions) *Runner {
 	if opt.Instr <= 0 {
 		opt.Instr = DefaultExpOptions().Instr
@@ -42,9 +72,23 @@ func NewRunner(opt ExpOptions) *Runner {
 	if opt.Warmup < 0 {
 		opt.Warmup = 0
 	}
-	opt.cache = make(map[string]Result)
-	return &Runner{opt: opt}
+	r := &Runner{
+		opt:      opt,
+		cache:    make(map[string]Result),
+		inflight: make(map[string]*inflightRun),
+	}
+	if opt.CacheDir != "" {
+		r.disk = newDiskCache(opt.CacheDir)
+	}
+	return r
 }
+
+// Simulations returns how many simulations this runner actually executed
+// (memo and disk hits excluded).
+func (r *Runner) Simulations() int64 { return r.sims.Load() }
+
+// DiskHits returns how many runs were recalled from the on-disk cache.
+func (r *Runner) DiskHits() int64 { return r.diskHits.Load() }
 
 type runKey struct {
 	workload string
@@ -62,12 +106,40 @@ func (k runKey) String() string {
 		k.workload, k.scheme, k.policy, k.dbi, k.active, k.noRelax, k.noIO, k.noCycle)
 }
 
-// Run executes (or recalls) one configuration.
+// Run executes (or recalls) one configuration. Concurrent callers are
+// safe: the first requester of a key simulates it while later ones block
+// on the same in-flight run and share its result.
 func (r *Runner) Run(k runKey) (Result, error) {
 	key := k.String()
-	if res, ok := r.opt.cache[key]; ok {
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
 		return res, nil
 	}
+	if in, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		<-in.done
+		return in.res, in.err
+	}
+	in := &inflightRun{done: make(chan struct{})}
+	r.inflight[key] = in
+	r.mu.Unlock()
+
+	in.res, in.err = r.execute(k, key)
+
+	r.mu.Lock()
+	if in.err == nil {
+		r.cache[key] = in.res
+	}
+	delete(r.inflight, key)
+	r.mu.Unlock()
+	close(in.done)
+	return in.res, in.err
+}
+
+// config expands a run key into the full simulation configuration under
+// the runner's budget.
+func (r *Runner) config(k runKey) Config {
 	cfg := DefaultConfig(k.workload)
 	cfg.Scheme = k.scheme
 	cfg.Policy = k.policy
@@ -85,11 +157,26 @@ func (r *Runner) Run(k runKey) (Result, error) {
 	cfg.NoTimingRelax = k.noRelax
 	cfg.NoPartialIO = k.noIO
 	cfg.NoMaskCycle = k.noCycle
-	res, err := RunOne(cfg)
+	return cfg
+}
+
+// execute resolves one cache miss: disk cache first, then simulation.
+func (r *Runner) execute(k runKey, key string) (Result, error) {
+	if r.disk != nil {
+		if res, ok := r.disk.load(key, r.opt); ok {
+			r.diskHits.Add(1)
+			return res, nil
+		}
+	}
+	res, err := RunOne(r.config(k))
 	if err != nil {
 		return Result{}, fmt.Errorf("run %s: %w", key, err)
 	}
-	r.opt.cache[key] = res
+	r.sims.Add(1)
+	if r.disk != nil {
+		// A failed store only costs a future re-simulation.
+		_ = r.disk.store(key, r.opt, res)
+	}
 	return res, nil
 }
 
@@ -135,28 +222,35 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(r *Runner) (string, error)
+
+	// Keys, when non-nil, enumerates every memoized simulation
+	// configuration Run will consume, so the runner can execute them
+	// across its worker pool before the (ordered, sequential) formatting
+	// pass reads the memo. Experiments without Keys either need no
+	// simulation at all or drive bespoke configurations internally.
+	Keys func() []runKey
 }
 
 // Experiments returns every experiment in paper order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"table1", "Table 1: memory characteristics of the benchmarks", ExpTable1},
-		{"table2", "Table 2: DRAM die area and activation energy breakdown", ExpTable2},
-		{"table3", "Table 3: derived activation power at each granularity (Eq. 1/2)", ExpTable3},
-		{"fig2", "Figure 2: baseline DRAM power consumption breakdown", ExpFig2},
-		{"fig3", "Figure 3: dirty words per cache line at LLC eviction", ExpFig3},
-		{"fig9", "Figure 9: activation energy vs number of MATs activated", ExpFig9},
-		{"fig10", "Figure 10: PRA impact on row-buffer hit rates (false hits)", ExpFig10},
-		{"fig11", "Figure 11: proportion of row-activation granularities under PRA", ExpFig11},
-		{"fig12", "Figure 12: normalized DRAM activation/IO/total power (FGA, Half-DRAM, PRA)", ExpFig12},
-		{"fig13", "Figure 13: normalized performance, DRAM energy, EDP", ExpFig13},
-		{"fig14", "Figure 14: Half-DRAM + PRA combination (restricted close-page)", ExpFig14},
-		{"fig15", "Figure 15: DBI + PRA combination", ExpFig15},
-		{"sec3cov", "Section 3: PRA vs SDS coverage (activation vs chip-access granularity)", ExpSec3Coverage},
-		{"ablation", "Ablation: contribution of each PRA design element", ExpAblation},
-		{"modelcheck", "Cross-validation: analytic power model vs cycle-level simulation", ExpModelCheck},
-		{"sensitivity", "Sensitivity: PRA savings vs dirty words per line and write share", ExpSensitivity},
-		{"speedgrades", "Speed grades: PRA savings across DDR3 data rates", ExpSpeedGrades},
+		{"table1", "Table 1: memory characteristics of the benchmarks", ExpTable1, keysBenchBaseline},
+		{"table2", "Table 2: DRAM die area and activation energy breakdown", ExpTable2, nil},
+		{"table3", "Table 3: derived activation power at each granularity (Eq. 1/2)", ExpTable3, nil},
+		{"fig2", "Figure 2: baseline DRAM power consumption breakdown", ExpFig2, keysBenchBaseline},
+		{"fig3", "Figure 3: dirty words per cache line at LLC eviction", ExpFig3, keysBenchBaseline},
+		{"fig9", "Figure 9: activation energy vs number of MATs activated", ExpFig9, nil},
+		{"fig10", "Figure 10: PRA impact on row-buffer hit rates (false hits)", ExpFig10, keysFig10},
+		{"fig11", "Figure 11: proportion of row-activation granularities under PRA", ExpFig11, keysFig11},
+		{"fig12", "Figure 12: normalized DRAM activation/IO/total power (FGA, Half-DRAM, PRA)", ExpFig12, keysFig12},
+		{"fig13", "Figure 13: normalized performance, DRAM energy, EDP", ExpFig13, keysFig13},
+		{"fig14", "Figure 14: Half-DRAM + PRA combination (restricted close-page)", ExpFig14, keysFig14},
+		{"fig15", "Figure 15: DBI + PRA combination", ExpFig15, keysFig15},
+		{"sec3cov", "Section 3: PRA vs SDS coverage (activation vs chip-access granularity)", ExpSec3Coverage, keysSec3Coverage},
+		{"ablation", "Ablation: contribution of each PRA design element", ExpAblation, keysAblation},
+		{"modelcheck", "Cross-validation: analytic power model vs cycle-level simulation", ExpModelCheck, keysModelCheck},
+		{"sensitivity", "Sensitivity: PRA savings vs dirty words per line and write share", ExpSensitivity, nil},
+		{"speedgrades", "Speed grades: PRA savings across DDR3 data rates", ExpSpeedGrades, nil},
 	}
 }
 

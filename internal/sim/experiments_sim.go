@@ -378,7 +378,7 @@ func ExpFig15(r *Runner) (string, error) {
 // help). Values are normalized to the conventional baseline; "pra" is the
 // full published scheme.
 func ExpAblation(r *Runner) (string, error) {
-	workloads := []string{"GUPS", "lbm", "MIX2"}
+	workloads := ablationWorkloads
 	variants := []struct {
 		name string
 		k    func(w string) runKey

@@ -12,6 +12,7 @@ func tinyRunner() *Runner {
 }
 
 func TestExperimentRegistry(t *testing.T) {
+	t.Parallel()
 	exps := Experiments()
 	if len(exps) != 17 {
 		t.Fatalf("have %d experiments, want 17", len(exps))
@@ -36,6 +37,7 @@ func TestExperimentRegistry(t *testing.T) {
 }
 
 func TestAnalyticExperimentsContent(t *testing.T) {
+	t.Parallel()
 	r := tinyRunner()
 	out, err := ExpTable2(r)
 	if err != nil {
@@ -66,6 +68,7 @@ func TestAnalyticExperimentsContent(t *testing.T) {
 
 // Every simulation-backed experiment must run end-to-end on a tiny budget.
 func TestAllExperimentsRunTiny(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("runs every experiment; skipped with -short")
 	}
@@ -82,6 +85,7 @@ func TestAllExperimentsRunTiny(t *testing.T) {
 }
 
 func TestRunnerMemoization(t *testing.T) {
+	t.Parallel()
 	r := tinyRunner()
 	k := runKey{workload: "GUPS", scheme: memctrl.Baseline, policy: memctrl.RelaxedClose, active: 1}
 	a, err := r.Run(k)
@@ -105,12 +109,16 @@ func TestRunnerMemoization(t *testing.T) {
 	if c.Scheme != memctrl.PRA {
 		t.Error("second key must run the requested scheme")
 	}
-	if len(r.opt.cache) != 2 {
-		t.Errorf("run cache holds %d entries, want 2", len(r.opt.cache))
+	if len(r.cache) != 2 {
+		t.Errorf("run cache holds %d entries, want 2", len(r.cache))
+	}
+	if r.Simulations() != 2 {
+		t.Errorf("runner executed %d simulations, want 2", r.Simulations())
 	}
 }
 
 func TestAloneIPCs(t *testing.T) {
+	t.Parallel()
 	r := tinyRunner()
 	m, err := r.AloneIPCs([]string{"GUPS", "GUPS", "em3d"}, memctrl.RelaxedClose)
 	if err != nil {
@@ -127,6 +135,7 @@ func TestAloneIPCs(t *testing.T) {
 }
 
 func TestNormalizedWSIdentity(t *testing.T) {
+	t.Parallel()
 	r := tinyRunner()
 	k := runKey{workload: "GUPS", scheme: memctrl.Baseline, policy: memctrl.RelaxedClose, active: 4}
 	base, err := r.Run(k)
@@ -143,6 +152,7 @@ func TestNormalizedWSIdentity(t *testing.T) {
 }
 
 func TestRunnerDefaultsApplied(t *testing.T) {
+	t.Parallel()
 	r := NewRunner(ExpOptions{Instr: -5, Warmup: -5})
 	if r.opt.Instr <= 0 || r.opt.Warmup != 0 {
 		t.Errorf("runner defaults not applied: %+v", r.opt)
@@ -150,6 +160,7 @@ func TestRunnerDefaultsApplied(t *testing.T) {
 }
 
 func TestAblationKnobsChangeBehaviour(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("slow; skipped with -short")
 	}

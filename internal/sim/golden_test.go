@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestFig9Golden pins the exact bytes of one praexp experiment table, so
+// no refactor of the experiment layer — parallel execution order above
+// all — can reorder or reformat a published-number comparison without a
+// deliberate golden update (go test ./internal/sim -run Fig9Golden -update).
+// Figure 9 is analytic (pure energy model, no simulation), so the golden
+// bytes are stable across budgets, seeds, and worker counts.
+func TestFig9Golden(t *testing.T) {
+	t.Parallel()
+	e, err := ExperimentByID("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Render through both a sequential and a parallel runner: the bytes
+	// must agree with each other and with the golden file.
+	seqOut, err := NewRunner(ExpOptions{Instr: 1000, Workers: 1}).RunExperiment(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOut, err := NewRunner(ExpOptions{Instr: 1000, Workers: 4}).RunExperiment(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqOut != parOut {
+		t.Fatalf("fig9 output depends on the worker count:\n-j1:\n%s\n-j4:\n%s", seqOut, parOut)
+	}
+
+	path := filepath.Join("testdata", "fig9.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(seqOut), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if seqOut != string(want) {
+		t.Errorf("fig9 output drifted from golden file (run with -update if intentional):\n--- got ---\n%s\n--- want ---\n%s", seqOut, want)
+	}
+}

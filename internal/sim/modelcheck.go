@@ -32,20 +32,24 @@ func AnalyticEstimate(res Result) (power.Breakdown, error) {
 	return calc.Estimate(w)
 }
 
+// modelCheckCases is the workload/scheme spread the cross-validation
+// runs; keysModelCheck precomputes exactly this set.
+var modelCheckCases = []struct {
+	workload string
+	scheme   memctrl.Scheme
+}{
+	{"GUPS", memctrl.Baseline},
+	{"GUPS", memctrl.PRA},
+	{"libquantum", memctrl.Baseline},
+	{"libquantum", memctrl.PRA},
+	{"MIX2", memctrl.Baseline},
+	{"MIX2", memctrl.PRA},
+}
+
 // ExpModelCheck cross-validates the analytic calculator against the
 // cycle-level simulation on a spread of workloads and schemes.
 func ExpModelCheck(r *Runner) (string, error) {
-	cases := []struct {
-		workload string
-		scheme   memctrl.Scheme
-	}{
-		{"GUPS", memctrl.Baseline},
-		{"GUPS", memctrl.PRA},
-		{"libquantum", memctrl.Baseline},
-		{"libquantum", memctrl.PRA},
-		{"MIX2", memctrl.Baseline},
-		{"MIX2", memctrl.PRA},
-	}
+	cases := modelCheckCases
 	t := stats.NewTable("workload", "scheme", "simulated mW", "analytic mW", "ratio",
 		"ACT ratio", "I/O ratio", "BG ratio")
 	for _, c := range cases {

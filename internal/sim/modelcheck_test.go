@@ -7,6 +7,7 @@ import (
 )
 
 func TestAnalyticEstimateAgreesRoughly(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("simulation-backed; skipped with -short")
 	}
@@ -38,6 +39,7 @@ func TestAnalyticEstimateAgreesRoughly(t *testing.T) {
 }
 
 func TestAnalyticEstimateRejectsBadCounters(t *testing.T) {
+	t.Parallel()
 	var res Result
 	res.Ctrl.ReadsServed = -5 // impossible counter
 	res.Cycles = 100
@@ -47,6 +49,7 @@ func TestAnalyticEstimateRejectsBadCounters(t *testing.T) {
 }
 
 func TestMaxSlowdown(t *testing.T) {
+	t.Parallel()
 	res := Result{
 		Apps:    []string{"a", "b"},
 		CoreIPC: []float64{1.0, 0.5},
@@ -62,6 +65,7 @@ func TestMaxSlowdown(t *testing.T) {
 }
 
 func TestModelCheckExperimentTiny(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("simulation-backed; skipped with -short")
 	}

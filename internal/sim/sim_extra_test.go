@@ -8,6 +8,7 @@ import (
 )
 
 func TestHalfDRAMPRACombination(t *testing.T) {
+	t.Parallel()
 	base, err := RunOne(quickCfg("GUPS"))
 	if err != nil {
 		t.Fatal(err)
@@ -34,6 +35,7 @@ func TestHalfDRAMPRACombination(t *testing.T) {
 }
 
 func TestWarmupResetsStatistics(t *testing.T) {
+	t.Parallel()
 	cfg := quickCfg("GUPS")
 	cfg.InstrPerCore = 40_000
 	cfg.WarmupPerCore = 40_000
@@ -60,6 +62,7 @@ func TestWarmupResetsStatistics(t *testing.T) {
 }
 
 func TestMaxCyclesAborts(t *testing.T) {
+	t.Parallel()
 	cfg := quickCfg("GUPS")
 	cfg.MaxCycles = 10 // absurdly small: must abort, not hang
 	_, err := RunOne(cfg)
@@ -69,6 +72,7 @@ func TestMaxCyclesAborts(t *testing.T) {
 }
 
 func TestActiveCoresSubset(t *testing.T) {
+	t.Parallel()
 	cfg := quickCfg("MIX1")
 	cfg.ActiveCores = 2
 	cfg.InstrPerCore = 20_000
@@ -82,6 +86,7 @@ func TestActiveCoresSubset(t *testing.T) {
 }
 
 func TestSeedChangesWorkloadNotModel(t *testing.T) {
+	t.Parallel()
 	a, err := RunOne(quickCfg("em3d"))
 	if err != nil {
 		t.Fatal(err)
@@ -101,6 +106,7 @@ func TestSeedChangesWorkloadNotModel(t *testing.T) {
 }
 
 func TestAvgReadLatencyPlausible(t *testing.T) {
+	t.Parallel()
 	res, err := RunOne(quickCfg("GUPS"))
 	if err != nil {
 		t.Fatal(err)

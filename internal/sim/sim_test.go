@@ -13,6 +13,7 @@ func quickCfg(workload string) Config {
 }
 
 func TestConfigValidation(t *testing.T) {
+	t.Parallel()
 	if err := DefaultConfig("GUPS").Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -41,6 +42,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestMappingFollowsPolicy(t *testing.T) {
+	t.Parallel()
 	c := DefaultConfig("GUPS")
 	if c.mapping() != memctrl.RowInterleaved {
 		t.Error("relaxed policy pairs with row-interleaved mapping")
@@ -52,6 +54,7 @@ func TestMappingFollowsPolicy(t *testing.T) {
 }
 
 func TestSmokeRunGUPS(t *testing.T) {
+	t.Parallel()
 	res, err := RunOne(quickCfg("GUPS"))
 	if err != nil {
 		t.Fatal(err)
@@ -80,6 +83,7 @@ func TestSmokeRunGUPS(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
+	t.Parallel()
 	a, err := RunOne(quickCfg("em3d"))
 	if err != nil {
 		t.Fatal(err)
@@ -103,6 +107,7 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 func TestAllSchemesRun(t *testing.T) {
+	t.Parallel()
 	for _, s := range memctrl.Schemes() {
 		cfg := quickCfg("GUPS")
 		cfg.InstrPerCore = 30_000
@@ -118,6 +123,7 @@ func TestAllSchemesRun(t *testing.T) {
 }
 
 func TestBothPoliciesRun(t *testing.T) {
+	t.Parallel()
 	for _, p := range []memctrl.Policy{memctrl.RelaxedClose, memctrl.RestrictedClose} {
 		cfg := quickCfg("libquantum")
 		cfg.InstrPerCore = 30_000
@@ -133,6 +139,7 @@ func TestBothPoliciesRun(t *testing.T) {
 }
 
 func TestMixRuns(t *testing.T) {
+	t.Parallel()
 	cfg := quickCfg("MIX2")
 	cfg.InstrPerCore = 30_000
 	res, err := RunOne(cfg)
@@ -145,6 +152,7 @@ func TestMixRuns(t *testing.T) {
 }
 
 func TestAloneRunSingleCore(t *testing.T) {
+	t.Parallel()
 	cfg := quickCfg("GUPS")
 	cfg.ActiveCores = 1
 	cfg.InstrPerCore = 30_000
@@ -158,6 +166,7 @@ func TestAloneRunSingleCore(t *testing.T) {
 }
 
 func TestPRAUsesPartialActivations(t *testing.T) {
+	t.Parallel()
 	cfg := quickCfg("GUPS")
 	cfg.Scheme = memctrl.PRA
 	res, err := RunOne(cfg)
@@ -174,6 +183,7 @@ func TestPRAUsesPartialActivations(t *testing.T) {
 }
 
 func TestPRASavesPowerOnGUPS(t *testing.T) {
+	t.Parallel()
 	base, err := RunOne(quickCfg("GUPS"))
 	if err != nil {
 		t.Fatal(err)
@@ -194,6 +204,7 @@ func TestPRASavesPowerOnGUPS(t *testing.T) {
 }
 
 func TestFGALosesPerformance(t *testing.T) {
+	t.Parallel()
 	base, err := RunOne(quickCfg("libquantum"))
 	if err != nil {
 		t.Fatal(err)
@@ -211,6 +222,7 @@ func TestFGALosesPerformance(t *testing.T) {
 }
 
 func TestDBIIncreasesWriteHits(t *testing.T) {
+	t.Parallel()
 	cfg := quickCfg("em3d")
 	cfg.InstrPerCore = 80_000
 	base, err := RunOne(cfg)
@@ -232,6 +244,7 @@ func TestDBIIncreasesWriteHits(t *testing.T) {
 }
 
 func TestWeightedSpeedupIdentity(t *testing.T) {
+	t.Parallel()
 	res := Result{
 		Apps:    []string{"a", "b"},
 		CoreIPC: []float64{2, 3},
@@ -247,6 +260,7 @@ func TestWeightedSpeedupIdentity(t *testing.T) {
 }
 
 func TestResultDerivedMetrics(t *testing.T) {
+	t.Parallel()
 	// libquantum needs the L2 warmed before dirty evictions (DRAM writes)
 	// flow at their steady-state rate.
 	cfg := quickCfg("libquantum")
