@@ -11,6 +11,11 @@
 //	praexp -exp fig13 -instr 2000000 -warmup 1000000
 //	praexp -exp all -j 8           # 8 simulations in flight
 //	praexp -exp all -cache ~/.cache/pradram   # reuse results across runs
+//	praexp -exp all -http :6060    # live progress JSON + pprof
+//
+// While a campaign runs, a progress line (runs done / in flight / ETA)
+// refreshes on stderr about once a second (-q silences it); tables print
+// to stdout only, so redirected output is unchanged.
 //
 // Simulation-backed experiments share a memoized run cache within one
 // invocation, so "-exp all" pays for each (workload, scheme, policy)
@@ -28,6 +33,7 @@ import (
 	"runtime"
 	"time"
 
+	"pradram/internal/obs"
 	"pradram/internal/sim"
 )
 
@@ -40,6 +46,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		workers  = flag.Int("j", runtime.NumCPU(), "max simulations in flight (worker pool size)")
 		cacheDir = flag.String("cache", "", "on-disk result cache directory (empty = disabled)")
+		quiet    = flag.Bool("q", false, "suppress the stderr progress line")
+		httpAddr = flag.String("http", "", "serve live campaign progress and pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -50,9 +58,30 @@ func main() {
 		return
 	}
 
+	// A full campaign is minutes of silence without feedback: the progress
+	// tracker feeds a once-a-second stderr line (runs done / in flight /
+	// ETA) and, with -http, a live JSON endpoint. Tables still go to
+	// stdout only, so redirected output is unchanged.
+	prog := obs.NewProgress()
+	stopReporter := func() {}
+	if !*quiet {
+		stopReporter = prog.Reporter(os.Stderr, time.Second, "praexp")
+	}
+	defer stopReporter()
+	if *httpAddr != "" {
+		srv := obs.NewServer()
+		srv.Publish("progress", func() any { return prog.Snapshot() })
+		go func() {
+			if err := srv.ListenAndServe(*httpAddr); err != nil {
+				fmt.Fprintln(os.Stderr, "praexp: http:", err)
+			}
+		}()
+	}
+
 	runner := sim.NewRunner(sim.ExpOptions{
 		Instr: *instr, Warmup: *warmup, Seed: *seed,
 		Workers: *workers, CacheDir: *cacheDir,
+		Progress: prog,
 	})
 
 	run := func(e sim.Experiment) error {
@@ -91,6 +120,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	stopReporter()
 	fmt.Fprintf(os.Stderr, "(total: %v, %d simulations run, %d disk-cache hits, -j %d)\n",
 		time.Since(start).Round(time.Millisecond), runner.Simulations(), runner.DiskHits(), *workers)
 }

@@ -13,6 +13,20 @@
 // -j-sized worker pool and the reports print in the order given, so the
 // output is identical for every -j (each run is deterministic and
 // independent). With -json, one JSON document is emitted per workload.
+//
+// Telemetry (see internal/obs and DESIGN.md "Observability"):
+//
+//	prasim -workload gups -timeline tl.csv -epoch 50000
+//	prasim -workload GUPS -events state -events-out ev.log
+//	prasim -workload GUPS,em3d -j 2 -timeline tl.csv -http :6060
+//
+// -timeline samples per-epoch counters (per-bank ACT/PRE/RD/WR, activation
+// granularity histogram, queue depths, energy components, ...) into a CSV
+// (or JSON when the file ends in .json); in a batch the workload name is
+// inserted before the extension. -events records a ring-buffered trace of
+// state transitions (state) or every DRAM command (cmd), written to
+// -events-out and dumped to stderr when a run fails. -http serves the live
+// recorder, batch progress, and net/http/pprof while the runs execute.
 package main
 
 import (
@@ -21,11 +35,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"pradram"
+	"pradram/internal/obs"
 	"pradram/internal/power"
 	"pradram/internal/stats"
 )
@@ -44,6 +61,12 @@ func main() {
 		asJSON       = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 		ecc          = flag.Bool("ecc", false, "model an x72 ECC DIMM (Section 4.2)")
 		workers      = flag.Int("j", runtime.NumCPU(), "max simulations in flight for workload batches")
+
+		epoch     = flag.Int64("epoch", 100_000, "telemetry sampling epoch in DRAM cycles (used with -timeline / -http)")
+		timeline  = flag.String("timeline", "", "write the per-epoch time-series to this file (.json for JSON, else CSV)")
+		eventsLvl = flag.String("events", "off", "structured event trace: off | state | cmd")
+		eventsOut = flag.String("events-out", "", "write the event trace to this file (otherwise dumped to stderr only on error)")
+		httpAddr  = flag.String("http", "", "serve live telemetry JSON and pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -61,11 +84,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	level, err := obs.ParseLevel(*eventsLvl)
+	if err != nil {
+		fatal(err)
+	}
+	obsCfg := pradram.ObsConfig{EventLevel: level}
+	if *timeline != "" || *httpAddr != "" {
+		obsCfg.EpochCycles = *epoch
+	}
 
 	names := strings.Split(*workloadName, ",")
-	configs := make([]pradram.Config, len(names))
+	systems := make([]*pradram.System, len(names))
 	for i, name := range names {
-		cfg := pradram.DefaultConfig(strings.TrimSpace(name))
+		names[i] = strings.TrimSpace(name)
+		cfg := pradram.DefaultConfig(names[i])
 		cfg.Scheme = scheme
 		cfg.Policy = policy
 		cfg.DBI = *dbi
@@ -74,33 +106,73 @@ func main() {
 		cfg.WarmupPerCore = *warmup
 		cfg.ActiveCores = *cores
 		cfg.Seed = *seed
-		configs[i] = cfg
+		cfg.Obs = obsCfg
+		if systems[i], err = pradram.NewSystem(cfg); err != nil {
+			fatal(err)
+		}
+	}
+	batch := len(systems) > 1
+
+	prog := obs.NewProgress()
+	prog.AddTotal(int64(len(systems)))
+	stopReporter := func() {}
+	if batch {
+		stopReporter = prog.Reporter(os.Stderr, time.Second, "prasim")
+	}
+	if *httpAddr != "" {
+		srv := obs.NewServer()
+		srv.Publish("progress", func() any { return prog.Snapshot() })
+		for i := range systems {
+			s, label := systems[i], names[i]
+			if batch {
+				label = fmt.Sprintf("%d-%s", i, label)
+			}
+			if rec := s.Recorder(); rec != nil {
+				srv.Publish("timeline/"+label, func() any { return rec.Snapshot() })
+			}
+		}
+		go func() {
+			if err := srv.ListenAndServe(*httpAddr); err != nil {
+				fmt.Fprintln(os.Stderr, "prasim: http:", err)
+			}
+		}()
 	}
 
 	// Fan the independent runs out across the pool; reports still print
 	// in the order the workloads were given.
-	results := make([]pradram.Result, len(configs))
-	errs := make([]error, len(configs))
+	results := make([]pradram.Result, len(systems))
+	errs := make([]error, len(systems))
 	pool := *workers
 	if pool < 1 {
 		pool = 1
 	}
 	sem := make(chan struct{}, pool)
 	var wg sync.WaitGroup
-	for i := range configs {
+	for i := range systems {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = pradram.Run(configs[i])
+			prog.Start()
+			defer prog.Done()
+			results[i], errs[i] = systems[i].Run()
 		}(i)
 	}
 	wg.Wait()
+	stopReporter()
 
 	for i, res := range results {
 		if errs[i] != nil {
+			// A failed run's event ring is the post-mortem: dump it
+			// before exiting.
+			if ev := systems[i].Events(); ev != nil {
+				ev.Dump(os.Stderr)
+			}
 			fatal(errs[i])
+		}
+		if err := dumpTelemetry(systems[i], names[i], *timeline, *eventsOut, batch); err != nil {
+			fatal(err)
 		}
 		if *asJSON {
 			if err := emitJSON(os.Stdout, res); err != nil {
@@ -113,6 +185,53 @@ func main() {
 		}
 		report(os.Stdout, res)
 	}
+}
+
+// batchPath inserts the run label before the path's extension when several
+// runs share one -timeline/-events-out flag ("tl.csv" -> "tl.GUPS.csv").
+func batchPath(path, label string, batch bool) string {
+	if !batch {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + label + ext
+}
+
+// dumpTelemetry writes a finished run's recorder and event log to the
+// requested files.
+func dumpTelemetry(s *pradram.System, label, timeline, eventsOut string, batch bool) error {
+	if timeline != "" {
+		if rec := s.Recorder(); rec != nil {
+			path := batchPath(timeline, label, batch)
+			if err := writeTo(path, func(w io.Writer) error {
+				if strings.HasSuffix(path, ".json") {
+					return rec.WriteJSON(w)
+				}
+				return rec.WriteCSV(w)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if eventsOut != "" && s.Events() != nil {
+		if err := writeTo(batchPath(eventsOut, label, batch), s.Events().Dump); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTo creates path and streams fn's output into it.
+func writeTo(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // report renders the human-readable tables for one run.

@@ -17,6 +17,7 @@ import (
 
 	"pradram"
 	"pradram/internal/memctrl"
+	"pradram/internal/obs"
 	"pradram/internal/sim"
 	"pradram/internal/stats"
 	"pradram/internal/trace"
@@ -33,8 +34,17 @@ func main() {
 		instr        = flag.Int64("instr", 200_000, "instructions per core to record")
 		warmup       = flag.Int64("warmup", 300_000, "warmup instructions per core")
 		seed         = flag.Uint64("seed", 1, "workload seed")
+		httpAddr     = flag.String("http", "", "serve pprof introspection on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *httpAddr != "" {
+		go func() {
+			if err := obs.NewServer().ListenAndServe(*httpAddr); err != nil {
+				fmt.Fprintln(os.Stderr, "pratrace: http:", err)
+			}
+		}()
+	}
 
 	switch {
 	case *record != "":

@@ -20,6 +20,7 @@ import (
 	"slices"
 
 	"pradram/internal/core"
+	"pradram/internal/obs"
 	"pradram/internal/stats"
 )
 
@@ -212,6 +213,13 @@ type Hierarchy struct {
 
 	dbi     map[uint64]map[uint64]struct{} // rowKey -> dirty L2 line ids
 	dbiFIFO []uint64                       // insertion order (lazy deletion)
+
+	// Events, when non-nil, receives structured state events (DBI sweeps,
+	// bounded-DBI force writebacks) stamped with the CPU cycle of the last
+	// Tick/access. Emission is guarded by the nil-safe Enabled check, so
+	// the disabled cost is one pointer compare.
+	Events *obs.EventLog
+	now    int64
 
 	Stats Stats
 }
@@ -429,6 +437,10 @@ func (h *Hierarchy) dbiMark(id uint64) {
 					continue // lazily-deleted entry
 				}
 				h.Stats.DBIEvictions++
+				if h.Events.Enabled(obs.LevelState) {
+					h.Events.Emit(obs.Event{Cycle: h.now, Level: obs.LevelState, Scope: "cache",
+						Kind: "dbi-evict", Detail: fmt.Sprintf("row key %#x force-written-back (DBI full)", victim)})
+				}
 				h.dbiSweepKey(victim)
 			}
 		}
@@ -475,6 +487,7 @@ func (h *Hierarchy) dbiSweepKey(k uint64) {
 		ids = append(ids, id)
 	}
 	slices.Sort(ids)
+	swept := 0
 	for _, id := range ids {
 		ln := h.l2.lookup(id, false)
 		if ln == nil {
@@ -494,10 +507,15 @@ func (h *Hierarchy) dbiSweepKey(k uint64) {
 		}
 		ln.dirty = 0
 		h.Stats.DBIProactive++
+		swept++
 		h.recordEviction(mask)
 		h.queueWB(id, mask)
 	}
 	delete(h.dbi, k)
+	if swept > 0 && h.Events.Enabled(obs.LevelState) {
+		h.Events.Emit(obs.Event{Cycle: h.now, Level: obs.LevelState, Scope: "cache",
+			Kind: "dbi-sweep", Detail: fmt.Sprintf("row key %#x: %d proactive writebacks", k, swept)})
+	}
 }
 
 // --- event processing ---
@@ -509,6 +527,7 @@ func (h *Hierarchy) schedule(at int64, fn func(at int64)) {
 // Tick delivers due completions and retries refused backend operations.
 // Call once per CPU cycle.
 func (h *Hierarchy) Tick(now int64) {
+	h.now = now
 	for len(h.events) > 0 && h.events[0].at <= now {
 		e := heap.Pop(&h.events).(event)
 		e.fn(e.at)

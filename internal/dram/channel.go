@@ -93,6 +93,13 @@ func (s Stats) AvgGranularity() float64 {
 	return float64(sum) / float64(n)
 }
 
+// BankCount is the always-on per-bank command tally the telemetry layer
+// samples. It lives outside Stats so Result snapshots (and the disk-cache
+// JSON) are unaffected; maintaining it costs one increment per command.
+type BankCount struct {
+	Act, Pre, Rd, Wr int64
+}
+
 // Channel is one DDR3 channel: command/address bus, data bus, and a set of
 // ranks of banks. All methods take the current absolute memory cycle.
 type Channel struct {
@@ -122,6 +129,8 @@ type Channel struct {
 
 	acctUpTo int64 // background energy accounted up to this cycle
 
+	perBank []BankCount // indexed rank*Banks+bank
+
 	Stats Stats
 }
 
@@ -139,7 +148,11 @@ func NewChannel(t Timing, g Geometry, acc *power.Accumulator) (*Channel, error) 
 	}
 	acc.ChipsPerRank = g.ChipsPerRank
 	acc.OtherRanks = g.Ranks - 1
-	ch := &Channel{T: t, G: g, Acc: acc, ranks: make([]rankState, g.Ranks)}
+	ch := &Channel{
+		T: t, G: g, Acc: acc,
+		ranks:   make([]rankState, g.Ranks),
+		perBank: make([]BankCount, g.Ranks*g.Banks),
+	}
 	for r := range ch.ranks {
 		ch.ranks[r].banks = make([]bankState, g.Banks)
 		// Stagger refreshes across ranks to avoid lockstep stalls.
@@ -172,7 +185,15 @@ func (c *Channel) OpenBankCount() int {
 
 // ResetStats zeroes the event counters (energy is reset via the
 // accumulator). Used to exclude warmup from measurements.
-func (c *Channel) ResetStats() { c.Stats = Stats{} }
+func (c *Channel) ResetStats() {
+	c.Stats = Stats{}
+	for i := range c.perBank {
+		c.perBank[i] = BankCount{}
+	}
+}
+
+// BankCounts returns the per-bank command tally of bank (r,b).
+func (c *Channel) BankCounts(r, b int) BankCount { return c.perBank[r*c.G.Banks+b] }
 
 // PoweredDown reports whether rank r is in precharge power-down.
 func (c *Channel) PoweredDown(r int) bool { return c.rank(r).poweredDown }
@@ -313,6 +334,7 @@ func (c *Channel) Activate(at int64, r, b, row int, mask core.Mask, halfDRAM boo
 
 	c.Acc.Activation(mask.Granularity(), halfDRAM, float64(c.T.TRC)*c.T.TCKNs)
 	c.Stats.ActsByGranularity[mask.Granularity()]++
+	c.perBank[r*c.G.Banks+b].Act++
 	c.emit(CmdEvent{At: at, Kind: CmdAct, Rank: r, Bank: b, Row: row, Mask: mask})
 	return nil
 }
@@ -364,6 +386,7 @@ func (c *Channel) Read(at int64, r, b, burstCycles int, frac float64, autoPre bo
 	c.cmdFree = at + 1
 	c.Acc.ReadBurst(float64(burstCycles) * c.T.TCKNs * frac)
 	c.Stats.Reads++
+	c.perBank[r*c.G.Banks+b].Rd++
 	c.emit(CmdEvent{At: at, Kind: CmdRead, Rank: r, Bank: b, Row: bk.row, DataStart: start, DataEnd: end})
 	if autoPre {
 		c.closeBank(r, b, rk, bk, bk.preAllowed)
@@ -399,6 +422,7 @@ func (c *Channel) Write(at int64, r, b, burstCycles int, frac float64, autoPre b
 	c.cmdFree = at + 1
 	c.Acc.WriteBurst(float64(burstCycles)*c.T.TCKNs, frac)
 	c.Stats.Writes++
+	c.perBank[r*c.G.Banks+b].Wr++
 	c.Stats.WordsWritten += int64(frac*float64(core.WordsPerLine) + 0.5)
 	c.Stats.WordBudget += core.WordsPerLine
 	c.emit(CmdEvent{At: at, Kind: CmdWrite, Rank: r, Bank: b, Row: bk.row, DataStart: start, DataEnd: end})
@@ -436,6 +460,7 @@ func (c *Channel) closeBank(r, b int, rk *rankState, bk *bankState, preAt int64)
 	bk.actAllowed = max64(bk.actAllowed, preAt+int64(c.T.TRP))
 	rk.openCount--
 	c.Stats.Precharges++
+	c.perBank[r*c.G.Banks+b].Pre++
 }
 
 // RefreshDue reports whether rank r owes a refresh at cycle now.

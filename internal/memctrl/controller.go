@@ -5,6 +5,7 @@ import (
 
 	"pradram/internal/core"
 	"pradram/internal/dram"
+	"pradram/internal/obs"
 	"pradram/internal/power"
 )
 
@@ -150,6 +151,12 @@ type chanCtl struct {
 	// nothing and disarmed (0) on every enqueue or issued command.
 	nextWake int64
 	wakeMin  int64 // candidate collected during the current pass
+
+	// ev/scope are the structured event hook (nil/"" when tracing is off);
+	// see AttachObs. Emission sites guard with ev.Enabled, which is
+	// nil-safe, so the disabled cost is one pointer check.
+	ev    *obs.EventLog
+	scope string
 
 	stats Stats
 }
@@ -410,14 +417,26 @@ func (cc *chanCtl) tick(mem int64) {
 	for r := 0; r < cc.cfg.Geom.Ranks; r++ {
 		if cc.ch.PoweredDown(r) && (cc.rankHasWork(r) || cc.ch.RefreshDue(mem, r)) {
 			cc.ch.Wake(mem, r)
+			if cc.ev.Enabled(obs.LevelState) {
+				cc.ev.Emit(obs.Event{Cycle: mem, Level: obs.LevelState, Scope: cc.scope,
+					Kind: "wake", Detail: fmt.Sprintf("rank %d out of power-down", r)})
+			}
 		}
 	}
 
 	// Watermark-driven write drain (Section 5.1.2).
 	if len(cc.writeQ) >= cc.cfg.HighWM {
+		if !cc.drain && cc.ev.Enabled(obs.LevelState) {
+			cc.ev.Emit(obs.Event{Cycle: mem, Level: obs.LevelState, Scope: cc.scope,
+				Kind: "drain-start", Detail: fmt.Sprintf("write queue %d >= high watermark %d", len(cc.writeQ), cc.cfg.HighWM)})
+		}
 		cc.drain = true
 	} else if cc.drain && len(cc.writeQ) <= cc.cfg.LowWM {
 		cc.drain = false
+		if cc.ev.Enabled(obs.LevelState) {
+			cc.ev.Emit(obs.Event{Cycle: mem, Level: obs.LevelState, Scope: cc.scope,
+				Kind: "drain-stop", Detail: fmt.Sprintf("write queue %d <= low watermark %d", len(cc.writeQ), cc.cfg.LowWM)})
+		}
 	}
 
 	cc.wakeMin = farFuture
@@ -496,6 +515,10 @@ func (cc *chanCtl) issueRefresh(mem int64) bool {
 			if at <= mem {
 				if err := cc.ch.Refresh(mem, r); err == nil {
 					cc.refPending[r] = false
+					if cc.ev.Enabled(obs.LevelState) {
+						cc.ev.Emit(obs.Event{Cycle: mem, Level: obs.LevelState, Scope: cc.scope,
+							Kind: "refresh", Detail: fmt.Sprintf("rank %d blocked for tRFC=%d", r, cc.cfg.Timing.TRFC)})
+					}
 					return true
 				}
 			} else {
@@ -761,7 +784,12 @@ func (cc *chanCtl) idleManage(mem int64) bool {
 		if cc.ch.AnyBankOpen(r) || cc.rankHasWork(r) || cc.ch.RefreshDue(mem, r) {
 			continue
 		}
+		was := cc.ch.PoweredDown(r)
 		cc.ch.PowerDown(mem, r)
+		if !was && cc.ch.PoweredDown(r) && cc.ev.Enabled(obs.LevelState) {
+			cc.ev.Emit(obs.Event{Cycle: mem, Level: obs.LevelState, Scope: cc.scope,
+				Kind: "power-down", Detail: fmt.Sprintf("rank %d idle, entering precharge power-down", r)})
+		}
 	}
 	return false
 }

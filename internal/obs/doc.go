@@ -1,0 +1,19 @@
+// Package obs is the simulator-wide observability layer: cycle-sampled
+// epoch time-series (Recorder), structured levelled event tracing
+// (EventLog), campaign progress accounting (Progress), and a small HTTP
+// server (Server) exposing live JSON snapshots plus net/http/pprof.
+//
+// The layer is strictly read-only with respect to simulation state: every
+// probe is a getter over counters the substrates maintain anyway, and every
+// event emission is guarded by a nil-safe level check, so telemetry-on and
+// telemetry-off runs produce bit-identical Results (the sim package's
+// determinism suite enforces this).
+//
+// Cost model:
+//   - disabled: a nil-pointer check per potential emission and one int64
+//     comparison per simulated cycle — nothing allocates.
+//   - enabled: the Recorder touches every registered probe once per epoch
+//     (default 100k DRAM cycles); the EventLog appends into a fixed ring,
+//     overwriting the oldest entries, so memory stays bounded no matter how
+//     long the run is.
+package obs

@@ -1,0 +1,98 @@
+package obs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pradram/internal/core"
+	"pradram/internal/dram"
+	"pradram/internal/obs"
+	"pradram/internal/power"
+)
+
+// These paired benchmarks drive the same DRAM command hot path (the
+// ACT / column-write / PRE cycle of the channel model) with telemetry
+// disabled and fully enabled. CI's benchgate tool runs them at
+// -benchtime 1x and fails if the disabled path is not at least as cheap as
+// the enabled one — the regression it guards against is "disabled"
+// telemetry that still pays for emission (a broken level guard, a probe
+// read in the per-cycle path). Each b.N iteration performs innerOps
+// command cycles so a single -benchtime 1x pass is long enough to be
+// stable.
+
+const innerOps = 2000
+
+// commandCycles drives innerOps ACT/WR/PRE cycles, mirroring the
+// controller's instrumentation pattern: a nil-safe Enabled guard before
+// every emission and an epoch check against the recorder.
+func commandCycles(b *testing.B, ch *dram.Channel, ev *obs.EventLog, rec *obs.Recorder) {
+	now := int64(0)
+	next := int64(-1)
+	if rec != nil {
+		rec.Begin(0)
+		next = rec.NextSample()
+	}
+	for i := 0; i < b.N; i++ {
+		for op := 0; op < innerOps; op++ {
+			bank := op % ch.G.Banks
+			now = ch.ActReadyAt(now, 0, bank, core.FullMask, false)
+			if err := ch.Activate(now, 0, bank, op%ch.G.Rows, core.FullMask, false); err != nil {
+				b.Fatal(err)
+			}
+			if ev.Enabled(obs.LevelState) {
+				ev.Emit(obs.Event{Cycle: now, Level: obs.LevelState, Scope: "bench",
+					Kind: "act", Detail: fmt.Sprintf("bank %d", bank)})
+			}
+			at := ch.WriteReadyAt(now, 0, bank, ch.T.TBURST)
+			if _, err := ch.Write(at, 0, bank, ch.T.TBURST, 1, false); err != nil {
+				b.Fatal(err)
+			}
+			pre := ch.PreReadyAt(at, 0, bank)
+			if err := ch.Precharge(pre, 0, bank); err != nil {
+				b.Fatal(err)
+			}
+			now = pre
+			if rec != nil && now >= next {
+				rec.Sample(now)
+				next = rec.NextSample()
+			}
+		}
+	}
+}
+
+func newBenchChannel(b *testing.B) *dram.Channel {
+	ch, err := dram.NewChannel(dram.DefaultTiming(), dram.DefaultGeometry(), power.NewAccumulator())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ch
+}
+
+// BenchmarkTelemetryOffHotPath is the production telemetry-off path: a nil
+// event log behind the Enabled guard, no recorder, no DRAM command trace.
+func BenchmarkTelemetryOffHotPath(b *testing.B) {
+	ch := newBenchChannel(b)
+	b.ResetTimer()
+	commandCycles(b, ch, nil, nil)
+}
+
+// BenchmarkTelemetryOnHotPath attaches everything: a cmd-level event ring
+// fed by the channel's command trace, state events from the driver loop,
+// and an epoch recorder with per-bank probes.
+func BenchmarkTelemetryOnHotPath(b *testing.B) {
+	ch := newBenchChannel(b)
+	ev := obs.NewEventLog(obs.DefaultEventCap, obs.LevelCmd)
+	ch.Trace = func(e dram.CmdEvent) {
+		ev.Emit(obs.Event{Cycle: e.At, Level: obs.LevelCmd, Scope: "dram", Kind: e.Kind.String(), Detail: e.String()})
+	}
+	rec := obs.NewRecorder(10_000)
+	for r := 0; r < ch.G.Ranks; r++ {
+		for bank := 0; bank < ch.G.Banks; bank++ {
+			r, bank := r, bank
+			rec.Counter(fmt.Sprintf("r%d_b%d_act", r, bank), func() int64 { return ch.BankCounts(r, bank).Act })
+			rec.Counter(fmt.Sprintf("r%d_b%d_wr", r, bank), func() int64 { return ch.BankCounts(r, bank).Wr })
+		}
+	}
+	b.ResetTimer()
+	commandCycles(b, ch, ev, rec)
+}

@@ -204,6 +204,16 @@ func (a *Accumulator) Refresh(tRFCns float64) {
 // Energy returns the accumulated breakdown in pJ.
 func (a *Accumulator) Energy() Breakdown { return a.energy }
 
+// Component returns the accumulated energy of one component in pJ — the
+// live-probe accessor the telemetry recorder samples at epoch boundaries
+// (cheaper than copying the whole Breakdown per probe).
+func (a *Accumulator) Component(c Component) float64 {
+	if c < 0 || c >= NumComponents {
+		return 0
+	}
+	return a.energy[c]
+}
+
 // TotalEnergy returns the total accumulated energy in pJ.
 func (a *Accumulator) TotalEnergy() float64 { return a.energy.Total() }
 

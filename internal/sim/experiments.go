@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"pradram/internal/memctrl"
+	"pradram/internal/obs"
 	"pradram/internal/power"
 	"pradram/internal/stats"
 	"pradram/internal/workload"
@@ -26,6 +27,19 @@ type ExpOptions struct {
 	// is a pure function of its configuration, so the worker count changes
 	// wall-clock only, never results (enforced by determinism_test.go).
 	Workers int
+
+	// Obs is the telemetry configuration applied to every run the runner
+	// launches. Probes are read-only, so results are identical with or
+	// without it (enforced by determinism_test.go) — but note the on-disk
+	// cache is keyed by configuration *results*, not telemetry, so cached
+	// runs recall no time-series.
+	Obs ObsConfig
+
+	// Progress, when non-nil, receives run-level progress (total / done /
+	// in-flight) as the runner precomputes key sets — the live feed behind
+	// praexp's stderr progress line and the -http introspection endpoint.
+	// Nil-safe: a nil *obs.Progress records nothing.
+	Progress *obs.Progress
 
 	// CacheDir, when non-empty, enables the on-disk result cache: every
 	// completed run is persisted as JSON keyed by the run configuration,
@@ -157,6 +171,7 @@ func (r *Runner) config(k runKey) Config {
 	cfg.NoTimingRelax = k.noRelax
 	cfg.NoPartialIO = k.noIO
 	cfg.NoMaskCycle = k.noCycle
+	cfg.Obs = r.opt.Obs
 	return cfg
 }
 

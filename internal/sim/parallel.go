@@ -28,24 +28,39 @@ func (r *Runner) workers() int {
 // pool so a subsequent formatting pass finds every result memoized.
 // Duplicate keys are collapsed before dispatch (the singleflight layer in
 // Run would dedup them anyway, but collapsing keeps pool slots busy with
-// distinct work). The first simulation error is returned after every
-// in-flight run has finished.
+// distinct work), and keys already memoized are skipped so opt.Progress
+// sees only real pending work — repeated Precompute calls over overlapping
+// key sets ("-exp all" warms once, then each experiment re-asserts its
+// keys) must not inflate the total. The first simulation error is returned
+// after every in-flight run has finished.
 func (r *Runner) Precompute(keys []runKey) error {
 	seen := make(map[string]bool, len(keys))
 	unique := keys[:0:0]
+	r.mu.Lock()
 	for _, k := range keys {
-		if s := k.String(); !seen[s] {
+		s := k.String()
+		if _, memoized := r.cache[s]; !memoized && !seen[s] {
 			seen[s] = true
 			unique = append(unique, k)
 		}
 	}
+	r.mu.Unlock()
+	prog := r.opt.Progress
+	prog.AddTotal(int64(len(unique)))
+	run := func(k runKey) error {
+		prog.Start()
+		defer prog.Done()
+		_, err := r.Run(k)
+		return err
+	}
+
 	workers := r.workers()
 	if workers > len(unique) {
 		workers = len(unique)
 	}
 	if workers <= 1 {
 		for _, k := range unique {
-			if _, err := r.Run(k); err != nil {
+			if err := run(k); err != nil {
 				return err
 			}
 		}
@@ -61,7 +76,7 @@ func (r *Runner) Precompute(keys []runKey) error {
 		go func() {
 			defer wg.Done()
 			for k := range jobs {
-				if _, err := r.Run(k); err != nil {
+				if err := run(k); err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err

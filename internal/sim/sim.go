@@ -16,6 +16,7 @@ import (
 	"pradram/internal/cpu"
 	"pradram/internal/dram"
 	"pradram/internal/memctrl"
+	"pradram/internal/obs"
 	"pradram/internal/power"
 	"pradram/internal/trace"
 	"pradram/internal/workload"
@@ -79,6 +80,11 @@ type Config struct {
 	// changes. Nil keeps the DDR3-1600 default.
 	Timing    *dram.Timing
 	CPUPerMem int64
+
+	// Obs selects the telemetry the run carries (epoch time-series
+	// recorder, structured event trace); the zero value disables both.
+	// See obswire.go.
+	Obs ObsConfig
 }
 
 // DefaultConfig returns the paper's baseline system for a workload.
@@ -130,6 +136,16 @@ type System struct {
 	now     int64 // current CPU cycle, for the trace capture
 	capBase int64 // capture timebase (reset to the warmup boundary)
 	cap     *trace.Capture
+
+	// Telemetry (nil when Config.Obs is zero; see obswire.go). The
+	// recorder epoch is configured in DRAM cycles, so the CPU-cycle run
+	// loop keeps the boundary pre-converted: epochCPU = epoch * cpm and
+	// recNext is the next sample point in CPU cycles.
+	rec      *obs.Recorder
+	ev       *obs.EventLog
+	cpm      int64
+	epochCPU int64
+	recNext  int64
 }
 
 // New assembles a system from the configuration.
@@ -207,6 +223,9 @@ func New(cfg Config) (*System, error) {
 		}
 		s.cores = append(s.cores, c)
 	}
+	if cfg.Obs.enabled() {
+		s.attachObs()
+	}
 	return s, nil
 }
 
@@ -256,6 +275,9 @@ func (s *System) Run() (Result, error) {
 			s.cap.Trace.Records = s.cap.Trace.Records[:0]
 			s.capBase = cycle
 		}
+		// Drop warmup events so the ring holds only measured-window
+		// activity.
+		s.ev.Reset()
 	}
 
 	finish := make([]int64, len(s.cores))
@@ -264,6 +286,14 @@ func (s *System) Run() (Result, error) {
 	}
 	remaining := len(s.cores)
 	start := cycle
+	if s.rec != nil {
+		// Snapshot counter baselines at the measurement-window start so
+		// the first epoch's deltas exclude warmup, and arm the first
+		// epoch boundary (in CPU cycles; the recorder itself runs on the
+		// DRAM clock).
+		s.rec.Begin(cycle / s.cpm)
+		s.recNext = cycle + s.epochCPU
+	}
 	for remaining > 0 {
 		if cycle >= maxCycles {
 			return Result{}, fmt.Errorf("sim: no progress after %d cycles (%d cores unfinished)", cycle, remaining)
@@ -279,6 +309,13 @@ func (s *System) Run() (Result, error) {
 		}
 		s.ctrl.Tick(cycle)
 		cycle++
+		if s.rec != nil && cycle >= s.recNext {
+			s.rec.Sample(cycle / s.cpm)
+			s.recNext += s.epochCPU
+		}
+	}
+	if s.rec != nil {
+		s.rec.Flush(cycle / s.cpm)
 	}
 	cycle -= start
 

@@ -27,18 +27,28 @@ func Pct(num, den float64) float64 { return 100 * Ratio(num, den) }
 type Hist struct {
 	Buckets []int64
 	N       int64
+	// Overflow counts observations that exceeded the top bucket and were
+	// clamped into it (Underflow is the negative-value equivalent). A
+	// silent clamp would make a saturated top bucket indistinguishable
+	// from a legitimate one in telemetry dumps; these counters keep the
+	// saturation visible.
+	Overflow  int64
+	Underflow int64
 }
 
 // NewHist creates a histogram with buckets 0..max.
 func NewHist(max int) *Hist { return &Hist{Buckets: make([]int64, max+1)} }
 
-// Add records one observation; out-of-range values clamp to the edges.
+// Add records one observation; out-of-range values clamp to the edges and
+// are tallied in Overflow/Underflow so the clamping is observable.
 func (h *Hist) Add(v int) {
 	if v < 0 {
 		v = 0
+		h.Underflow++
 	}
 	if v >= len(h.Buckets) {
 		v = len(h.Buckets) - 1
+		h.Overflow++
 	}
 	h.Buckets[v]++
 	h.N++
@@ -67,6 +77,8 @@ func (h *Hist) Merge(other *Hist) {
 		h.Buckets[i] += c
 	}
 	h.N += other.N
+	h.Overflow += other.Overflow
+	h.Underflow += other.Underflow
 }
 
 // Table renders aligned plain-text tables for the experiment reports.

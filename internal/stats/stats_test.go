@@ -55,6 +55,33 @@ func TestHistMerge(t *testing.T) {
 	}
 }
 
+// TestHistOverflowCounters pins that edge clamping is observable: a
+// saturated top bucket must be distinguishable from legitimately-maximal
+// observations.
+func TestHistOverflowCounters(t *testing.T) {
+	h := NewHist(8)
+	h.Add(8)   // legitimate top bucket, no overflow
+	h.Add(9)   // clamped
+	h.Add(100) // clamped
+	h.Add(-1)  // clamped low
+	if h.Overflow != 2 {
+		t.Errorf("Overflow = %d, want 2", h.Overflow)
+	}
+	if h.Underflow != 1 {
+		t.Errorf("Underflow = %d, want 1", h.Underflow)
+	}
+	if h.Buckets[8] != 3 || h.Buckets[0] != 1 || h.N != 4 {
+		t.Errorf("buckets perturbed: %+v", h)
+	}
+
+	o := NewHist(8)
+	o.Add(42)
+	o.Merge(h)
+	if o.Overflow != 3 || o.Underflow != 1 {
+		t.Errorf("merged Overflow/Underflow = %d/%d, want 3/1", o.Overflow, o.Underflow)
+	}
+}
+
 func TestHistSharesSumToOne(t *testing.T) {
 	f := func(vals []uint8) bool {
 		h := NewHist(8)

@@ -13,6 +13,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"pradram/internal/core"
 	"pradram/internal/cpu"
@@ -143,9 +144,33 @@ func Names() []string {
 	return names
 }
 
+// Canonical resolves a workload or mix name case-insensitively to its
+// canonical spelling ("gups" -> "GUPS", "mix2" -> "MIX2"), so CLI flags
+// don't require the paper's exact capitalization. Unknown names are
+// returned unchanged for the caller's own error path.
+func Canonical(name string) string {
+	if _, ok := benchmarks[name]; ok {
+		return name
+	}
+	if _, ok := Mixes[name]; ok {
+		return name
+	}
+	for n := range benchmarks {
+		if strings.EqualFold(n, name) {
+			return n
+		}
+	}
+	for n := range Mixes {
+		if strings.EqualFold(n, name) {
+			return n
+		}
+	}
+	return name
+}
+
 // New builds the named benchmark generator.
 func New(name string, coreID int, seed uint64, region Region) (cpu.Generator, error) {
-	mk, ok := benchmarks[name]
+	mk, ok := benchmarks[Canonical(name)]
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
 	}
@@ -175,6 +200,7 @@ func MixNames() []string {
 // instances of single-threaded applications"); a MIXn name yields Table 4's
 // combination.
 func Set(name string, cores int) ([]string, error) {
+	name = Canonical(name)
 	if apps, ok := Mixes[name]; ok {
 		if cores != len(apps) {
 			return nil, fmt.Errorf("workload: mix %s needs %d cores, have %d", name, len(apps), cores)

@@ -73,6 +73,11 @@ type Experiment = sim.Experiment
 // ExpOptions controls experiment budgets.
 type ExpOptions = sim.ExpOptions
 
+// ObsConfig selects the telemetry a run carries (Config.Obs /
+// ExpOptions.Obs): epoch time-series recorder and structured event trace.
+// The zero value disables both.
+type ObsConfig = sim.ObsConfig
+
 // Runner executes experiment simulations with memoization.
 type Runner = sim.Runner
 

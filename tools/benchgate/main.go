@@ -1,0 +1,100 @@
+// Command benchgate is CI's telemetry-overhead gate. It runs the paired
+// internal/obs hot-path benchmarks (the same DRAM command loop with
+// telemetry disabled and fully enabled), takes the minimum ns/op of
+// several repetitions of each, writes the measurements to BENCH_obs.json,
+// and fails when the telemetry-off path costs more than 1.05x the
+// telemetry-on path.
+//
+// The invariant under guard is directional, not absolute: the disabled
+// path must stay at least as cheap as the enabled one. A disabled path
+// that drifts up toward (or past) the enabled cost means "off" is no
+// longer free — a broken level guard, a probe read left in the per-cycle
+// path — which is exactly the class of regression a hand-run benchmark
+// comparison would catch and CI otherwise cannot (it has no stored
+// baseline hardware-normalized ns/op to diff against).
+//
+// Usage: go run ./tools/benchgate [-out BENCH_obs.json] [-count 5]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+)
+
+const threshold = 1.05
+
+type report struct {
+	OffNsOp   float64 `json:"off_ns_op"`
+	OnNsOp    float64 `json:"on_ns_op"`
+	Ratio     float64 `json:"off_over_on_ratio"`
+	Threshold float64 `json:"threshold"`
+	Count     int     `json:"count"`
+	Pass      bool    `json:"pass"`
+}
+
+// benchLine matches e.g. "BenchmarkTelemetryOffHotPath  1  115029 ns/op".
+var benchLine = regexp.MustCompile(`(?m)^(BenchmarkTelemetry\w+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	out := flag.String("out", "BENCH_obs.json", "where to write the measurement report")
+	count := flag.Int("count", 5, "benchmark repetitions (minimum is kept)")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "BenchmarkTelemetry", "-benchtime", "1x",
+		"-count", strconv.Itoa(*count), "./internal/obs")
+	raw, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: benchmark run failed: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+
+	// Keep the minimum per benchmark: noise on shared CI machines only
+	// inflates timings, so the minimum is the best estimate of true cost.
+	mins := map[string]float64{}
+	for _, m := range benchLine.FindAllStringSubmatch(string(raw), -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if cur, ok := mins[m[1]]; !ok || ns < cur {
+			mins[m[1]] = ns
+		}
+	}
+	off, okOff := mins["BenchmarkTelemetryOffHotPath"]
+	on, okOn := mins["BenchmarkTelemetryOnHotPath"]
+	if !okOff || !okOn {
+		fmt.Fprintf(os.Stderr, "benchgate: missing benchmark results (parsed %v) in:\n%s", mins, raw)
+		os.Exit(1)
+	}
+
+	rep := report{
+		OffNsOp:   off,
+		OnNsOp:    on,
+		Ratio:     off / on,
+		Threshold: threshold,
+		Count:     *count,
+		Pass:      off <= on*threshold,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: off %.0f ns/op, on %.0f ns/op, ratio %.3f (threshold %.2f) -> %s\n",
+		rep.OffNsOp, rep.OnNsOp, rep.Ratio, rep.Threshold, map[bool]string{true: "PASS", false: "FAIL"}[rep.Pass])
+	if !rep.Pass {
+		fmt.Fprintln(os.Stderr, "benchgate: telemetry-off hot path is no longer cheap relative to telemetry-on; a disabled-path guard has likely broken")
+		os.Exit(1)
+	}
+}
