@@ -47,6 +47,7 @@ func main() {
 		workers  = flag.Int("j", runtime.NumCPU(), "max simulations in flight (worker pool size)")
 		cacheDir = flag.String("cache", "", "on-disk result cache directory (empty = disabled)")
 		quiet    = flag.Bool("q", false, "suppress the stderr progress line")
+		noskip   = flag.Bool("noskip", false, "disable event-driven cycle skipping (identical results, slower campaign)")
 		httpAddr = flag.String("http", "", "serve live campaign progress and pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
@@ -81,7 +82,7 @@ func main() {
 	runner := sim.NewRunner(sim.ExpOptions{
 		Instr: *instr, Warmup: *warmup, Seed: *seed,
 		Workers: *workers, CacheDir: *cacheDir,
-		Progress: prog,
+		Progress: prog, NoSkip: *noskip,
 	})
 
 	run := func(e sim.Experiment) error {

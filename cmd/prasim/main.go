@@ -61,6 +61,7 @@ func main() {
 		asJSON       = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 		ecc          = flag.Bool("ecc", false, "model an x72 ECC DIMM (Section 4.2)")
 		workers      = flag.Int("j", runtime.NumCPU(), "max simulations in flight for workload batches")
+		noskip       = flag.Bool("noskip", false, "disable event-driven cycle skipping (tick every CPU cycle; results are identical, runs are slower)")
 
 		epoch     = flag.Int64("epoch", 100_000, "telemetry sampling epoch in DRAM cycles (used with -timeline / -http)")
 		timeline  = flag.String("timeline", "", "write the per-epoch time-series to this file (.json for JSON, else CSV)")
@@ -106,6 +107,7 @@ func main() {
 		cfg.WarmupPerCore = *warmup
 		cfg.ActiveCores = *cores
 		cfg.Seed = *seed
+		cfg.NoSkip = *noskip
 		cfg.Obs = obsCfg
 		if systems[i], err = pradram.NewSystem(cfg); err != nil {
 			fatal(err)

@@ -34,6 +34,7 @@ func main() {
 		instr        = flag.Int64("instr", 200_000, "instructions per core to record")
 		warmup       = flag.Int64("warmup", 300_000, "warmup instructions per core")
 		seed         = flag.Uint64("seed", 1, "workload seed")
+		noskip       = flag.Bool("noskip", false, "disable event-driven cycle skipping in both record and replay (identical results, slower runs)")
 		httpAddr     = flag.String("http", "", "serve pprof introspection on this address (e.g. :6060)")
 	)
 	flag.Parse()
@@ -48,11 +49,11 @@ func main() {
 
 	switch {
 	case *record != "":
-		if err := doRecord(*record, *workloadName, *instr, *warmup, *seed); err != nil {
+		if err := doRecord(*record, *workloadName, *instr, *warmup, *seed, *noskip); err != nil {
 			fatal(err)
 		}
 	case *replay != "":
-		if err := doReplay(*replay, *schemeName, *policyName, *compare); err != nil {
+		if err := doReplay(*replay, *schemeName, *policyName, *compare, *noskip); err != nil {
 			fatal(err)
 		}
 	default:
@@ -61,12 +62,13 @@ func main() {
 	}
 }
 
-func doRecord(path, workloadName string, instr, warmup int64, seed uint64) error {
+func doRecord(path, workloadName string, instr, warmup int64, seed uint64, noskip bool) error {
 	cfg := pradram.DefaultConfig(workloadName)
 	cfg.InstrPerCore = instr
 	cfg.WarmupPerCore = warmup
 	cfg.Seed = seed
 	cfg.Capture = true
+	cfg.NoSkip = noskip
 	sys, err := sim.New(cfg)
 	if err != nil {
 		return err
@@ -89,7 +91,7 @@ func doRecord(path, workloadName string, instr, warmup int64, seed uint64) error
 	return f.Sync()
 }
 
-func doReplay(path, schemeName, policyName string, compare bool) error {
+func doReplay(path, schemeName, policyName string, compare, noskip bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -108,7 +110,7 @@ func doReplay(path, schemeName, policyName string, compare bool) error {
 		if p == memctrl.RestrictedClose {
 			cfg.Mapping = memctrl.LineInterleaved
 		}
-		return trace.Replay(tr, cfg)
+		return trace.ReplayWith(tr, cfg, trace.ReplayOpts{NoSkip: noskip})
 	}
 
 	policy, err := pradram.ParsePolicy(policyName)

@@ -15,7 +15,6 @@
 package cache
 
 import (
-	"container/heap"
 	"fmt"
 	"slices"
 
@@ -89,11 +88,23 @@ type line struct {
 	tag   uint64
 	valid bool
 	dirty core.ByteMask
-	last  int64 // LRU timestamp
 }
 
+// invalidTag marks an empty way in level.tags. It cannot collide with a
+// real line id: ids are addresses shifted right by 6, so all-ones would
+// need an address past 2^63.
+const invalidTag = ^uint64(0)
+
 type level struct {
-	sets    [][]line
+	// lines holds every way of every set in one contiguous slab (set-major).
+	// tags mirrors lines[i].tag for valid ways (invalidTag otherwise) and
+	// lasts the LRU timestamps, in packed parallel arrays, so the
+	// associative scans touch a couple of host cache lines instead of
+	// striding through the full line structs.
+	lines   []line
+	tags    []uint64
+	lasts   []int64
+	ways    int
 	setMask uint64
 	tick    int64
 
@@ -101,41 +112,53 @@ type level struct {
 }
 
 func newLevel(nSets, ways int) *level {
-	l := &level{sets: make([][]line, nSets), setMask: uint64(nSets - 1)}
-	for i := range l.sets {
-		l.sets[i] = make([]line, ways)
+	l := &level{lines: make([]line, nSets*ways), tags: make([]uint64, nSets*ways),
+		lasts: make([]int64, nSets*ways), ways: ways, setMask: uint64(nSets - 1)}
+	for i := range l.tags {
+		l.tags[i] = invalidTag
 	}
 	return l
 }
 
-// lineID is the line address (addr >> 6); set index uses its low bits.
-func (l *level) set(id uint64) []line { return l.sets[id&l.setMask] }
+// index returns the slab index of id's line, or -1 when absent.
+// (lineID is the line address, addr >> 6; set index uses its low bits.)
+func (l *level) index(id uint64) int {
+	base := int(id&l.setMask) * l.ways
+	tags := l.tags[base : base+l.ways : base+l.ways]
+	for i := range tags {
+		if tags[i] == id {
+			return base + i
+		}
+	}
+	return -1
+}
 
 // lookup returns the line if present, bumping LRU when touch is set.
 func (l *level) lookup(id uint64, touch bool) *line {
-	s := l.set(id)
-	for i := range s {
-		if s[i].valid && s[i].tag == id {
-			if touch {
-				l.tick++
-				s[i].last = l.tick
-			}
-			return &s[i]
-		}
+	i := l.index(id)
+	if i < 0 {
+		return nil
 	}
-	return nil
+	ln := &l.lines[i]
+	if touch {
+		l.tick++
+		l.lasts[i] = l.tick
+	}
+	return ln
 }
 
-// victim returns the line to replace in id's set (an invalid way, else LRU).
-func (l *level) victim(id uint64) *line {
-	s := l.set(id)
-	v := &s[0]
-	for i := range s {
-		if !s[i].valid {
-			return &s[i]
+// victimIdx returns the slab index of the way to replace in id's set (an
+// invalid way, else LRU).
+func (l *level) victimIdx(id uint64) int {
+	base := int(id&l.setMask) * l.ways
+	tags := l.tags[base : base+l.ways : base+l.ways]
+	v := base
+	for i := range tags {
+		if tags[i] == invalidTag {
+			return base + i
 		}
-		if s[i].last < v.last {
-			v = &s[i]
+		if l.lasts[base+i] < l.lasts[v] {
+			v = base + i
 		}
 	}
 	return v
@@ -144,11 +167,19 @@ func (l *level) victim(id uint64) *line {
 // install places id into the cache, returning the evicted line (valid=false
 // in the return when the way was free).
 func (l *level) install(id uint64, dirty core.ByteMask) (evicted line) {
-	v := l.victim(id)
-	evicted = *v
+	i := l.victimIdx(id)
+	evicted = l.lines[i]
 	l.tick++
-	*v = line{tag: id, valid: true, dirty: dirty, last: l.tick}
+	l.lines[i] = line{tag: id, valid: true, dirty: dirty}
+	l.lasts[i] = l.tick
+	l.tags[i] = id
 	return evicted
+}
+
+// invalidate drops the line at slab index i (from index()).
+func (l *level) invalidate(i int) {
+	l.lines[i].valid = false
+	l.tags[i] = invalidTag
 }
 
 // event is a scheduled completion callback.
@@ -157,13 +188,55 @@ type event struct {
 	fn func(at int64)
 }
 
+// eventQueue is a binary min-heap on at, hand-rolled over the concrete
+// event type so the hot schedule/deliver path pays no interface boxing
+// (container/heap allocates per Push) and no dynamic dispatch. The sift
+// loops compare and swap in exactly container/heap's order, so same-cycle
+// events pop in the same sequence the library heap produced — replacing
+// the implementation does not perturb run results.
 type eventQueue []event
 
-func (q eventQueue) Len() int           { return len(q) }
-func (q eventQueue) Less(i, j int) bool { return q[i].at < q[j].at }
-func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+// push appends e and sifts it up (container/heap.Push + up).
+func (q *eventQueue) push(e event) {
+	s := append(*q, e)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if s[i].at <= s[j].at {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*q = s
+}
+
+// pop removes and returns the minimum (container/heap.Pop: swap root to
+// the end, sift the new root down over the shortened prefix, detach).
+func (q *eventQueue) pop() event {
+	s := *q
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2].at < s[j].at {
+			j = j2
+		}
+		if s[j].at >= s[i].at {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	e := s[n]
+	s[n] = event{} // release the callback for GC
+	*q = s[:n]
+	return e
+}
 
 type waiter struct {
 	done      func(at int64)
@@ -175,6 +248,12 @@ type missEntry struct {
 	id      uint64
 	waiters []waiter
 	issued  bool
+	next    *missEntry // freelist link while recycled
+	// onFill is the backend completion callback bound to this entry for
+	// its pooled lifetime: entries recycle through the hierarchy's
+	// freelist after fill, so the closure (and the waiters slice backing
+	// array) are allocated once per in-flight-miss high-water mark.
+	onFill func(at int64)
 }
 
 type pendingWB struct {
@@ -205,11 +284,16 @@ type Hierarchy struct {
 	l1 []*level
 	l2 *level
 
-	mshr        map[uint64]*missEntry
+	// mshr is the set of outstanding L2 misses. It is a packed slice
+	// rather than a map: occupancy is bounded by Cores*MSHRs, so a linear
+	// scan beats hashing, and since nothing iterates it the swap-remove
+	// ordering cannot influence simulation order.
+	mshr        []*missEntry
 	mshrPerCore []int
 	events      eventQueue
 	wbs         []pendingWB
 	retryFills  []*missEntry
+	freeMiss    *missEntry // missEntry freelist
 
 	dbi     map[uint64]map[uint64]struct{} // rowKey -> dirty L2 line ids
 	dbiFIFO []uint64                       // insertion order (lazy deletion)
@@ -236,7 +320,7 @@ func New(cfg Config, mem Backend) (*Hierarchy, error) {
 		cfg:         cfg,
 		mem:         mem,
 		l2:          newLevel(cfg.L2Sets, cfg.L2Ways),
-		mshr:        make(map[uint64]*missEntry),
+		mshr:        make([]*missEntry, 0, cfg.Cores*cfg.MSHRs),
 		mshrPerCore: make([]int, cfg.Cores),
 	}
 	h.l1 = make([]*level, cfg.Cores)
@@ -300,9 +384,11 @@ func (h *Hierarchy) access(coreID int, addr uint64, now int64, storeMask core.By
 	h.Stats.L2Misses++
 
 	// MSHR merge.
-	if e, ok := h.mshr[id]; ok {
-		e.waiters = append(e.waiters, waiter{done: done, storeMask: storeMask, core: coreID})
-		return true
+	for _, e := range h.mshr {
+		if e.id == id {
+			e.waiters = append(e.waiters, waiter{done: done, storeMask: storeMask, core: coreID})
+			return true
+		}
 	}
 	if h.mshrPerCore[coreID] >= h.cfg.MSHRs {
 		// Un-count: the access will be retried by the core.
@@ -315,16 +401,30 @@ func (h *Hierarchy) access(coreID int, addr uint64, now int64, storeMask core.By
 		h.Stats.L2Misses--
 		return false
 	}
-	e := &missEntry{id: id, waiters: []waiter{{done: done, storeMask: storeMask, core: coreID}}}
-	h.mshr[id] = e
+	e := h.allocMiss()
+	e.id = id
+	e.waiters = append(e.waiters, waiter{done: done, storeMask: storeMask, core: coreID})
+	h.mshr = append(h.mshr, e)
 	h.mshrPerCore[coreID]++
 	h.issueFill(e)
 	return true
 }
 
+func (h *Hierarchy) allocMiss() *missEntry {
+	e := h.freeMiss
+	if e == nil {
+		e = &missEntry{}
+		e.onFill = func(at int64) { h.fill(e, at) }
+	} else {
+		h.freeMiss = e.next
+		e.next = nil
+	}
+	return e
+}
+
 func (h *Hierarchy) issueFill(e *missEntry) {
 	addr := e.id << 6
-	ok := h.mem.Read(addr, func(at int64) { h.fill(e, at) })
+	ok := h.mem.Read(addr, e.onFill)
 	if !ok {
 		h.retryFills = append(h.retryFills, e)
 		return
@@ -335,7 +435,15 @@ func (h *Hierarchy) issueFill(e *missEntry) {
 // fill completes an L2 miss: install in L2 and the first waiter's L1, wake
 // all waiters.
 func (h *Hierarchy) fill(e *missEntry, at int64) {
-	delete(h.mshr, e.id)
+	for i, m := range h.mshr {
+		if m == e {
+			last := len(h.mshr) - 1
+			h.mshr[i] = h.mshr[last]
+			h.mshr[last] = nil
+			h.mshr = h.mshr[:last]
+			break
+		}
+	}
 	h.mshrPerCore[e.waiters[0].core]--
 
 	h.installL2(e.id, 0)
@@ -345,6 +453,16 @@ func (h *Hierarchy) fill(e *missEntry, at int64) {
 	for _, w := range e.waiters {
 		w.done(at)
 	}
+	// Recycle: the backend calls onFill exactly once, so the entry is dead
+	// here. Clearing waiter slots drops callback references for the GC;
+	// the backing array is kept.
+	for i := range e.waiters {
+		e.waiters[i] = waiter{}
+	}
+	e.waiters = e.waiters[:0]
+	e.issued = false
+	e.next = h.freeMiss
+	h.freeMiss = e
 }
 
 // fillL1 installs id into coreID's L1 with the store mask applied, merging
@@ -384,9 +502,9 @@ func (h *Hierarchy) installL2(id uint64, dirty core.ByteMask) {
 	// Enforce inclusion: pull dirty bits from (and invalidate) L1 copies.
 	mask := ev.dirty
 	for _, l1 := range h.l1 {
-		if ln := l1.lookup(ev.tag, false); ln != nil {
-			mask |= ln.dirty
-			ln.valid = false
+		if i := l1.index(ev.tag); i >= 0 {
+			mask |= l1.lines[i].dirty
+			l1.invalidate(i)
 		}
 	}
 	h.dbiUnmark(ev.tag)
@@ -521,7 +639,7 @@ func (h *Hierarchy) dbiSweepKey(k uint64) {
 // --- event processing ---
 
 func (h *Hierarchy) schedule(at int64, fn func(at int64)) {
-	heap.Push(&h.events, event{at: at, fn: fn})
+	h.events.push(event{at: at, fn: fn})
 }
 
 // Tick delivers due completions and retries refused backend operations.
@@ -529,7 +647,7 @@ func (h *Hierarchy) schedule(at int64, fn func(at int64)) {
 func (h *Hierarchy) Tick(now int64) {
 	h.now = now
 	for len(h.events) > 0 && h.events[0].at <= now {
-		e := heap.Pop(&h.events).(event)
+		e := h.events.pop()
 		e.fn(e.at)
 	}
 	if len(h.retryFills) > 0 {
@@ -570,6 +688,27 @@ func (h *Hierarchy) ResetStats() {
 	}
 }
 
+// NextEvent reports the earliest CPU cycle at which the hierarchy's state
+// can change without new input: the head of the completion-event heap, or
+// the very next cycle while refused backend operations (fill retries,
+// buffered writebacks) are pending — those retry every Tick, and each
+// attempt bumps the controller's reject counters, so skipping them would
+// be observable. In-flight misses whose fill was accepted need no entry
+// here: their timing is owned by the controller, whose own NextEvent
+// covers it. With nothing in flight it reports FarFuture.
+func (h *Hierarchy) NextEvent(now int64) int64 {
+	if len(h.retryFills) > 0 || len(h.wbs) > 0 {
+		return now + 1
+	}
+	if len(h.events) > 0 {
+		if at := h.events[0].at; at > now {
+			return at
+		}
+		return now + 1
+	}
+	return core.FarFuture
+}
+
 // Drain returns whether any miss, event, or writeback is still in flight.
 func (h *Hierarchy) Drain() bool {
 	return len(h.mshr) > 0 || len(h.events) > 0 || len(h.wbs) > 0 || len(h.retryFills) > 0
@@ -579,38 +718,35 @@ func (h *Hierarchy) Drain() bool {
 // by the Figure 3 experiment so short runs account lines still resident at
 // the end. It records eviction statistics exactly like natural evictions.
 func (h *Hierarchy) FlushDirty() {
-	for coreID, l1 := range h.l1 {
-		_ = coreID
-		for si := range l1.sets {
-			for wi := range l1.sets[si] {
-				ln := &l1.sets[si][wi]
-				if !ln.valid || ln.dirty == 0 {
-					continue
-				}
-				if l2ln := h.l2.lookup(ln.tag, false); l2ln != nil {
-					wasClean := l2ln.dirty == 0
-					l2ln.dirty |= ln.dirty
-					if wasClean {
-						h.dbiMark(ln.tag)
-					}
-				} else {
-					h.recordEviction(ln.dirty)
-					h.queueWB(ln.tag, ln.dirty)
-				}
-				ln.dirty = 0
-			}
-		}
-	}
-	for si := range h.l2.sets {
-		for wi := range h.l2.sets[si] {
-			ln := &h.l2.sets[si][wi]
+	for _, l1 := range h.l1 {
+		// The slab is set-major, so this flat walk visits lines in the same
+		// set-then-way order the per-set loops did.
+		for wi := range l1.lines {
+			ln := &l1.lines[wi]
 			if !ln.valid || ln.dirty == 0 {
 				continue
 			}
-			h.recordEviction(ln.dirty)
-			h.queueWB(ln.tag, ln.dirty)
-			h.dbiUnmark(ln.tag)
+			if l2ln := h.l2.lookup(ln.tag, false); l2ln != nil {
+				wasClean := l2ln.dirty == 0
+				l2ln.dirty |= ln.dirty
+				if wasClean {
+					h.dbiMark(ln.tag)
+				}
+			} else {
+				h.recordEviction(ln.dirty)
+				h.queueWB(ln.tag, ln.dirty)
+			}
 			ln.dirty = 0
 		}
+	}
+	for wi := range h.l2.lines {
+		ln := &h.l2.lines[wi]
+		if !ln.valid || ln.dirty == 0 {
+			continue
+		}
+		h.recordEviction(ln.dirty)
+		h.queueWB(ln.tag, ln.dirty)
+		h.dbiUnmark(ln.tag)
+		ln.dirty = 0
 	}
 }

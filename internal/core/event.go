@@ -1,0 +1,8 @@
+package core
+
+// FarFuture is the "no event scheduled" sentinel of the next-event
+// protocol: a ticked component whose state cannot change again without
+// external input reports it from NextEvent. It is far beyond any
+// reachable cycle count yet small enough that converting between clock
+// domains (multiplying by a CPU-to-memory ratio) cannot overflow int64.
+const FarFuture = int64(1) << 62

@@ -69,8 +69,13 @@ func (c Config) Validate() error {
 }
 
 type robEntry struct {
-	done bool
-	next *robEntry // freelist link while recycled
+	done       bool
+	retiredOut bool      // left the ROB while still the dependence anchor
+	next       *robEntry // freelist link while recycled
+	// onDone is the completion callback bound to this entry for its whole
+	// pooled lifetime — entries recycle through the freelist, so the
+	// closure is allocated once per physical entry, not once per load.
+	onDone func(at int64)
 }
 
 // Core is one out-of-order core.
@@ -95,6 +100,18 @@ type Core struct {
 	pending    Op // a fetched but not yet dispatched op
 	hasPending bool
 
+	// storeDone is the shared store-completion callback (stores are not
+	// tracked per entry, so one closure serves every store).
+	storeDone func(at int64)
+
+	// idle records that the last Tick neither retired nor dispatched
+	// anything: every dispatch blocker (ROB full, pointer-chase wait,
+	// LDQ/STQ full, hierarchy refusal) clears only through a completion
+	// callback, so until one runs, further Ticks are provable no-ops.
+	// The callbacks reset it, which is what lets NextEvent promise
+	// quiescence between a blocked Tick and the next completion.
+	idle bool
+
 	// Retired counts retired instructions; Cycles counts Tick calls.
 	Retired int64
 	Cycles  int64
@@ -110,24 +127,51 @@ func New(id int, cfg Config, gen Generator, mem MemPort) (*Core, error) {
 	if gen == nil || mem == nil {
 		return nil, fmt.Errorf("cpu: generator and memory port are required")
 	}
-	return &Core{ID: id, cfg: cfg, gen: gen, mem: mem, rob: make([]*robEntry, cfg.ROB)}, nil
+	c := &Core{ID: id, cfg: cfg, gen: gen, mem: mem, rob: make([]*robEntry, cfg.ROB)}
+	c.storeDone = func(int64) {
+		c.stqUsed--
+		c.idle = false
+	}
+	// Seed the freelist from one contiguous slab: at most ROB entries are
+	// live plus the retired dependence anchor, so alloc never grows the
+	// pool and the retire scan walks adjacent memory.
+	slab := make([]robEntry, cfg.ROB+1)
+	for i := range slab {
+		e := &slab[i]
+		e.onDone = func(int64) {
+			e.done = true
+			c.ldqUsed--
+			c.idle = false
+		}
+		e.next = c.free
+		c.free = e
+	}
+	return c, nil
 }
 
 func (c *Core) alloc(done bool) *robEntry {
 	e := c.free
 	if e == nil {
 		e = &robEntry{}
+		e.onDone = func(int64) {
+			e.done = true
+			c.ldqUsed--
+			c.idle = false
+		}
 	} else {
 		c.free = e.next
 		e.next = nil
 	}
 	e.done = done
+	e.retiredOut = false
 	return e
 }
 
 func (c *Core) push(e *robEntry) {
 	c.rob[c.tail] = e
-	c.tail = (c.tail + 1) % c.cfg.ROB
+	if c.tail++; c.tail == c.cfg.ROB {
+		c.tail = 0 // branch instead of modulo: ROB size is not a power of two
+	}
 	c.count++
 }
 
@@ -149,28 +193,66 @@ func (c *Core) IPC() float64 {
 // Tick advances the core one CPU cycle: retire in order, then dispatch.
 func (c *Core) Tick(now int64) {
 	c.Cycles++
+	retired := c.retire()
+	dispatched := c.dispatch(now)
+	c.idle = retired == 0 && dispatched == 0
+}
 
-	// Retire up to Width completed instructions in order.
+// NextEvent reports the earliest CPU cycle at which the core's state can
+// change: now+1 while it is making progress, FarFuture once a Tick came
+// up empty (a blocked core stays blocked until a memory completion runs,
+// and the completion callbacks clear idle themselves). Re-Ticking a
+// quiescent core is always safe — skipped Ticks are exact no-ops (the
+// only state a blocked Tick touches is the pre-fetched pending op, which
+// is fetched at most once).
+func (c *Core) NextEvent(now int64) int64 {
+	if !c.idle {
+		return now + 1
+	}
+	return core.FarFuture
+}
+
+// SkipCycles accounts n elapsed-but-unticked cycles, keeping Cycles (and
+// IPC) on the elapsed-time clock when the run loop fast-forwards.
+func (c *Core) SkipCycles(n int64) { c.Cycles += n }
+
+// Quiescent reports whether the next Tick is a provable no-op (same
+// condition that makes NextEvent return FarFuture): the run loop uses it
+// to skip Ticking blocked cores on cycles other components force it to
+// execute. A completion callback clears the condition.
+func (c *Core) Quiescent() bool { return c.idle }
+
+// retire retires up to Width completed instructions in order.
+func (c *Core) retire() int {
 	retired := 0
 	for retired < c.cfg.Width && c.count > 0 && c.rob[c.head].done {
 		e := c.rob[c.head]
 		c.rob[c.head] = nil
-		c.head = (c.head + 1) % c.cfg.ROB
+		if c.head++; c.head == c.cfg.ROB {
+			c.head = 0
+		}
 		c.count--
 		retired++
-		// Recycle unless it is the dependence anchor for the next load
-		// (the anchor is left for the garbage collector when replaced).
+		// Recycle unless it is the dependence anchor for the next load;
+		// the anchor is marked and recycled when a newer load replaces it.
 		if e != c.lastLoad {
 			e.next = c.free
 			c.free = e
+		} else {
+			e.retiredOut = true
 		}
 	}
 	c.Retired += int64(retired)
+	return retired
+}
 
-	// Dispatch up to Width new instructions.
+// dispatch dispatches up to Width new instructions, returning how many
+// actually entered the ROB.
+func (c *Core) dispatch(now int64) int {
+	n := 0
 	for d := 0; d < c.cfg.Width; d++ {
 		if c.count >= c.cfg.ROB {
-			return // ROB full
+			return n // ROB full
 		}
 		if !c.hasPending {
 			c.gen.Next(&c.pending)
@@ -183,32 +265,32 @@ func (c *Core) Tick(now int64) {
 			c.ComputeOps++
 		case Load:
 			if op.Dep && c.lastLoad != nil && !c.lastLoad.done {
-				return // address not ready: pointer chase stalls dispatch
+				return n // address not ready: pointer chase stalls dispatch
 			}
 			e := c.alloc(false)
 			if c.ldqUsed >= c.cfg.LDQ {
 				e.next, c.free = c.free, e
-				return
+				return n
 			}
-			if !c.mem.Load(c.ID, op.Addr, now, func(int64) {
-				e.done = true
-				c.ldqUsed--
-			}) {
+			if !c.mem.Load(c.ID, op.Addr, now, e.onDone) {
 				e.next, c.free = c.free, e
-				return // hierarchy refused; retry next cycle
+				return n // hierarchy refused; retry next cycle
 			}
 			c.ldqUsed++
 			c.push(e)
+			if old := c.lastLoad; old != nil && old.retiredOut {
+				old.retiredOut = false
+				old.next = c.free
+				c.free = old
+			}
 			c.lastLoad = e
 			c.Loads++
 		case Store:
 			if c.stqUsed >= c.cfg.STQ {
-				return
+				return n
 			}
-			if !c.mem.Store(c.ID, op.Addr, op.Bytes, now, func(int64) {
-				c.stqUsed--
-			}) {
-				return
+			if !c.mem.Store(c.ID, op.Addr, op.Bytes, now, c.storeDone) {
+				return n
 			}
 			c.stqUsed++
 			// Stores retire immediately (they drain from the store queue
@@ -217,5 +299,7 @@ func (c *Core) Tick(now int64) {
 			c.Stores++
 		}
 		c.hasPending = false
+		n++
 	}
+	return n
 }

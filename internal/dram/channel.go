@@ -45,6 +45,15 @@ type rankState struct {
 	poweredDown bool
 	pdExit      int64 // power-down exit: no command before this cycle (tXP)
 	openCount   int
+
+	// bgFrom is the first cycle whose background energy has not been
+	// accrued yet. Background accounting is lazy: spans of constant rank
+	// state are charged in one multiply when the state changes (any
+	// command that touches poweredDown/openCount/refUntil) or when a
+	// probe flushes (AdvanceTo). Span boundaries are command and probe
+	// cycles only — never tick cycles — so per-cycle and fast-forwarded
+	// operation produce bit-identical energy sums.
+	bgFrom int64
 }
 
 // Stats counts device-level events for the experiment harness.
@@ -184,8 +193,11 @@ func (c *Channel) OpenBankCount() int {
 }
 
 // ResetStats zeroes the event counters (energy is reset via the
-// accumulator). Used to exclude warmup from measurements.
+// accumulator). Used to exclude warmup from measurements. Pending
+// background spans are flushed first so they land in the discarded
+// pre-reset tallies, not the fresh ones.
 func (c *Channel) ResetStats() {
+	c.FlushBackground()
 	c.Stats = Stats{}
 	for i := range c.perBank {
 		c.perBank[i] = BankCount{}
@@ -198,35 +210,82 @@ func (c *Channel) BankCounts(r, b int) BankCount { return c.perBank[r*c.G.Banks+
 // PoweredDown reports whether rank r is in precharge power-down.
 func (c *Channel) PoweredDown(r int) bool { return c.rank(r).poweredDown }
 
-// AdvanceTo accrues background energy up to (but not including) cycle. The
-// controller calls it once per memory cycle; larger jumps are accounted at
-// the state observed at each cycle boundary's start (refresh intervals are
-// short relative to jumps the controller makes, so this is exact in
-// per-cycle operation).
-func (c *Channel) AdvanceTo(cycle int64) {
-	for c.acctUpTo < cycle {
-		t := c.acctUpTo
-		for r := range c.ranks {
-			rk := &c.ranks[r]
-			var st power.RankState
-			switch {
-			case rk.refUntil > t:
-				st = power.RankActive
-				c.Stats.ActiveRankCycles++
-			case rk.poweredDown:
-				st = power.RankPoweredDown
-				c.Stats.PowerDownCycles++
-			case rk.openCount > 0:
-				st = power.RankActive
-				c.Stats.ActiveRankCycles++
-			default:
-				st = power.RankPrecharged
-				c.Stats.PrechargedRankCycles++
-			}
-			c.Acc.Background(st, c.T.TCKNs)
-		}
-		c.acctUpTo++
+// Clock advances the channel's accounting clock without accruing anything;
+// background spans stay pending until the next state change or flush. The
+// controller calls it at the top of every memory tick, so commands always
+// execute with acctUpTo == the current cycle.
+func (c *Channel) Clock(cycle int64) {
+	if cycle > c.acctUpTo {
+		c.acctUpTo = cycle
 	}
+}
+
+// AdvanceTo advances the accounting clock to cycle and flushes all pending
+// background spans — the probe entry point: callers about to read energy or
+// rank-state cycle counters use it to bring both up to (but not including)
+// cycle.
+func (c *Channel) AdvanceTo(cycle int64) {
+	c.Clock(cycle)
+	c.FlushBackground()
+}
+
+// FlushBackground accrues every rank's pending background span up to the
+// accounting clock.
+func (c *Channel) FlushBackground() {
+	for r := range c.ranks {
+		c.flushBG(&c.ranks[r])
+	}
+}
+
+// flushBG charges rank rk's background energy for [bgFrom, acctUpTo). The
+// rank's state over that span is constant except for at most one internal
+// boundary — the end of an in-flight refresh — because every mutation of
+// poweredDown/openCount/refUntil flushes first. Each constant-state piece
+// is charged in a single multiply; the split points are command and probe
+// cycles, identical whether the controller ticks every cycle or
+// fast-forwards, so the float sums match bit for bit.
+func (c *Channel) flushBG(rk *rankState) {
+	t, end := rk.bgFrom, c.acctUpTo
+	if t >= end {
+		return
+	}
+	rk.bgFrom = end
+	tck := c.T.TCKNs
+	if rk.refUntil > t {
+		stop := min(rk.refUntil, end)
+		n := stop - t
+		c.Stats.ActiveRankCycles += n
+		c.Acc.Background(power.RankActive, tck*float64(n))
+		t = stop
+	}
+	if t >= end {
+		return
+	}
+	n := end - t
+	switch {
+	case rk.poweredDown:
+		c.Stats.PowerDownCycles += n
+		c.Acc.Background(power.RankPoweredDown, tck*float64(n))
+	case rk.openCount > 0:
+		c.Stats.ActiveRankCycles += n
+		c.Acc.Background(power.RankActive, tck*float64(n))
+	default:
+		c.Stats.PrechargedRankCycles += n
+		c.Acc.Background(power.RankPrecharged, tck*float64(n))
+	}
+}
+
+// NextRefreshAny returns the earliest scheduled refresh deadline across
+// all ranks — the channel-level bound the controller folds into its sleep
+// horizon (a sleeping channel must still wake to refresh on time).
+func (c *Channel) NextRefreshAny() int64 {
+	earliest := c.ranks[0].nextRefresh
+	for r := 1; r < len(c.ranks); r++ {
+		if at := c.ranks[r].nextRefresh; at < earliest {
+			earliest = at
+		}
+	}
+	return earliest
 }
 
 // fawReadyAt returns the earliest cycle an activation of weight w fits the
@@ -261,8 +320,9 @@ func (c *Channel) Wake(now int64, r int) {
 	if !rk.poweredDown {
 		return
 	}
+	c.flushBG(rk)
 	rk.poweredDown = false
-	rk.pdExit = max64(rk.pdExit, now+int64(c.T.TXP))
+	rk.pdExit = max(rk.pdExit, now+int64(c.T.TXP))
 }
 
 // ActReadyAt returns the earliest cycle >= now at which an ACT of the given
@@ -274,9 +334,9 @@ func (c *Channel) ActReadyAt(now int64, r, b int, mask core.Mask, halfDRAM bool)
 	if c.NoWeightedFAW {
 		w = 1
 	}
-	at := max64(now, bk.actAllowed, rk.rrdAllowed, c.fawReadyAt(rk, w), rk.refUntil, c.cmdFree, rk.pdExit)
+	at := max(now, bk.actAllowed, rk.rrdAllowed, c.fawReadyAt(rk, w), rk.refUntil, c.cmdFree, rk.pdExit)
 	if rk.poweredDown {
-		at = max64(at, now+int64(c.T.TXP))
+		at = max(at, now+int64(c.T.TXP))
 	}
 	return at
 }
@@ -306,6 +366,7 @@ func (c *Channel) Activate(at int64, r, b, row int, mask core.Mask, halfDRAM boo
 		w = 1
 	}
 
+	c.flushBG(rk)
 	bk.open, bk.row, bk.mask = true, row, mask
 	bk.actAllowed = at + int64(c.T.TRC)
 	colDelay := int64(c.T.TRCD)
@@ -346,14 +407,14 @@ func (c *Channel) busStart(wantStart int64, d BusDir, r int) int64 {
 	if c.busDir != BusIdle && (c.busDir != d || c.busRank != r) {
 		gap = int64(c.T.TRTRS)
 	}
-	return max64(wantStart, c.busFree+gap)
+	return max(wantStart, c.busFree+gap)
 }
 
 // ReadReadyAt returns the earliest command cycle >= now for a column read
 // of burstCycles from bank (r,b).
 func (c *Channel) ReadReadyAt(now int64, r, b, burstCycles int) int64 {
 	rk, bk := c.rank(r), c.bank(r, b)
-	at := max64(now, bk.rdAllowed, rk.colAllowed, rk.rdAfterWr, rk.refUntil, c.cmdFree)
+	at := max(now, bk.rdAllowed, rk.colAllowed, rk.rdAfterWr, rk.refUntil, c.cmdFree)
 	// The data phase must fit the bus: command time is data start - CL.
 	start := c.busStart(at+int64(c.T.TCAS), BusRead, r)
 	return start - int64(c.T.TCAS)
@@ -376,8 +437,8 @@ func (c *Channel) Read(at int64, r, b, burstCycles int, frac float64, autoPre bo
 	start := at + int64(c.T.TCAS)
 	end := start + int64(burstCycles)
 	c.busFree, c.busDir, c.busRank = end, BusRead, r
-	rk.colAllowed = at + max64(int64(c.T.TCCD), int64(burstCycles))
-	bk.preAllowed = max64(bk.preAllowed, at+int64(c.T.TRTP))
+	rk.colAllowed = at + max(int64(c.T.TCCD), int64(burstCycles))
+	bk.preAllowed = max(bk.preAllowed, at+int64(c.T.TRTP))
 	if frac < 0 {
 		frac = 0
 	} else if frac > 1 {
@@ -397,7 +458,7 @@ func (c *Channel) Read(at int64, r, b, burstCycles int, frac float64, autoPre bo
 // WriteReadyAt returns the earliest command cycle >= now for a column write.
 func (c *Channel) WriteReadyAt(now int64, r, b, burstCycles int) int64 {
 	rk, bk := c.rank(r), c.bank(r, b)
-	at := max64(now, bk.wrAllowed, rk.colAllowed, rk.refUntil, c.cmdFree)
+	at := max(now, bk.wrAllowed, rk.colAllowed, rk.refUntil, c.cmdFree)
 	start := c.busStart(at+int64(c.T.CWL), BusWrite, r)
 	return start - int64(c.T.CWL)
 }
@@ -416,9 +477,9 @@ func (c *Channel) Write(at int64, r, b, burstCycles int, frac float64, autoPre b
 	start := at + int64(c.T.CWL)
 	end := start + int64(burstCycles)
 	c.busFree, c.busDir, c.busRank = end, BusWrite, r
-	rk.colAllowed = at + max64(int64(c.T.TCCD), int64(burstCycles))
+	rk.colAllowed = at + max(int64(c.T.TCCD), int64(burstCycles))
 	rk.rdAfterWr = end + int64(c.T.TWTR)
-	bk.preAllowed = max64(bk.preAllowed, end+int64(c.T.TWR))
+	bk.preAllowed = max(bk.preAllowed, end+int64(c.T.TWR))
 	c.cmdFree = at + 1
 	c.Acc.WriteBurst(float64(burstCycles)*c.T.TCKNs, frac)
 	c.Stats.Writes++
@@ -435,7 +496,7 @@ func (c *Channel) Write(at int64, r, b, burstCycles int, frac float64, autoPre b
 // PreReadyAt returns the earliest cycle a precharge may be issued.
 func (c *Channel) PreReadyAt(now int64, r, b int) int64 {
 	bk := c.bank(r, b)
-	return max64(now, bk.preAllowed, c.rank(r).refUntil, c.cmdFree)
+	return max(now, bk.preAllowed, c.rank(r).refUntil, c.cmdFree)
 }
 
 // Precharge closes the bank's row. The ACT-PRE pair energy was charged at
@@ -454,10 +515,11 @@ func (c *Channel) Precharge(at int64, r, b int) error {
 }
 
 func (c *Channel) closeBank(r, b int, rk *rankState, bk *bankState, preAt int64) {
+	c.flushBG(rk)
 	c.emit(CmdEvent{At: preAt, Kind: CmdPre, Rank: r, Bank: b, Row: bk.row})
 	bk.open = false
 	bk.mask = 0
-	bk.actAllowed = max64(bk.actAllowed, preAt+int64(c.T.TRP))
+	bk.actAllowed = max(bk.actAllowed, preAt+int64(c.T.TRP))
 	rk.openCount--
 	c.Stats.Precharges++
 	c.perBank[r*c.G.Banks+b].Pre++
@@ -478,14 +540,14 @@ func (c *Channel) RefreshReadyAt(now int64, r int) (int64, bool) {
 	if rk.openCount > 0 {
 		return 0, false
 	}
-	at := max64(now, rk.refUntil, c.cmdFree, rk.pdExit)
+	at := max(now, rk.refUntil, c.cmdFree, rk.pdExit)
 	for b := range rk.banks {
 		// tRP from the last precharge must have elapsed; actAllowed
 		// tracks exactly that for a closed bank.
-		at = max64(at, rk.banks[b].actAllowed)
+		at = max(at, rk.banks[b].actAllowed)
 	}
 	if rk.poweredDown {
-		at = max64(at, now+int64(c.T.TXP))
+		at = max(at, now+int64(c.T.TXP))
 	}
 	return at, true
 }
@@ -504,10 +566,11 @@ func (c *Channel) Refresh(at int64, r int) error {
 	if at < ready {
 		return fmt.Errorf("dram: REF at %d before ready %d", at, ready)
 	}
+	c.flushBG(rk)
 	rk.refUntil = at + int64(c.T.TRFC)
 	rk.nextRefresh += int64(c.T.TREFI)
 	for b := range rk.banks {
-		rk.banks[b].actAllowed = max64(rk.banks[b].actAllowed, rk.refUntil)
+		rk.banks[b].actAllowed = max(rk.banks[b].actAllowed, rk.refUntil)
 	}
 	c.cmdFree = at + 1
 	c.Acc.Refresh(float64(c.T.TRFC) * c.T.TCKNs)
@@ -520,17 +583,8 @@ func (c *Channel) Refresh(at int64, r int) error {
 // are open or a refresh is in flight.
 func (c *Channel) PowerDown(now int64, r int) {
 	rk := c.rank(r)
-	if rk.openCount == 0 && rk.refUntil <= now {
+	if rk.openCount == 0 && rk.refUntil <= now && !rk.poweredDown {
+		c.flushBG(rk)
 		rk.poweredDown = true
 	}
-}
-
-func max64(vs ...int64) int64 {
-	m := vs[0]
-	for _, v := range vs[1:] {
-		if v > m {
-			m = v
-		}
-	}
-	return m
 }

@@ -119,9 +119,10 @@ type request struct {
 	byteMask  core.ByteMask // writes: FGD dirty bytes
 	wordMask  core.Mask     // cached projection of byteMask (FullMask for reads)
 	arrive    int64         // memory cycle
-	done      func(memCycle int64)
+	done      func(cpuCycle int64)
 	activated bool // an ACT was issued on this request's behalf
 	falseHit  bool
+	nextFree  *request // freelist link while recycled
 }
 
 // need returns the PRA word mask this request requires open.
@@ -141,8 +142,12 @@ type chanCtl struct {
 	forwards      []*request // reads served from the write queue
 
 	// rowCount tracks queued requests per row key and rankCount per rank,
-	// so the hot benefit/idle checks avoid scanning the queues.
-	rowCount  map[uint64]int
+	// so the hot benefit/idle checks avoid scanning the queues. rowCount is
+	// a small unordered key/count list rather than a map: the queues hold a
+	// handful of distinct rows at a time, and a linear scan over that beats
+	// map hashing on the scheduling hot path. No caller iterates it, so its
+	// internal order (swap-delete on removal) cannot leak into results.
+	rowCount  rowCounts
 	rankCount []int
 
 	// nextWake is the earliest memory cycle at which scheduling could
@@ -158,7 +163,30 @@ type chanCtl struct {
 	ev    *obs.EventLog
 	scope string
 
+	// freeReq recycles request structs: a request dies when it is serviced
+	// (leaves its queue or the forwards list and its callback returned),
+	// so the pool's high-water mark is the queue depth.
+	freeReq *request
+
 	stats Stats
+}
+
+// allocReq returns a zeroed request (fresh allocations are zero by
+// construction, recycled ones are zeroed by releaseReq), so enqueue paths
+// only assign the fields they use.
+func (cc *chanCtl) allocReq() *request {
+	r := cc.freeReq
+	if r == nil {
+		return &request{}
+	}
+	cc.freeReq = r.nextFree
+	r.nextFree = nil
+	return r
+}
+
+func (cc *chanCtl) releaseReq(r *request) {
+	*r = request{nextFree: cc.freeReq}
+	cc.freeReq = r
 }
 
 // noteReady records a future readiness time observed during a scheduling
@@ -170,17 +198,56 @@ func (cc *chanCtl) noteReady(at int64) {
 }
 
 func (cc *chanCtl) noteAdd(req *request) {
-	cc.rowCount[req.rowKey]++
+	cc.rowCount.inc(req.rowKey)
 	cc.rankCount[req.loc.Rank]++
 }
 
 func (cc *chanCtl) noteRemove(req *request) {
-	if n := cc.rowCount[req.rowKey]; n <= 1 {
-		delete(cc.rowCount, req.rowKey)
-	} else {
-		cc.rowCount[req.rowKey] = n - 1
-	}
+	cc.rowCount.dec(req.rowKey)
 	cc.rankCount[req.loc.Rank]--
+}
+
+// rowCounts is a small key→count multiset over row keys.
+type rowCounts []rowKC
+
+type rowKC struct {
+	key uint64
+	n   int
+}
+
+func (rc rowCounts) get(key uint64) int {
+	for i := range rc {
+		if rc[i].key == key {
+			return rc[i].n
+		}
+	}
+	return 0
+}
+
+func (rc *rowCounts) inc(key uint64) {
+	s := *rc
+	for i := range s {
+		if s[i].key == key {
+			s[i].n++
+			return
+		}
+	}
+	*rc = append(s, rowKC{key: key, n: 1})
+}
+
+func (rc *rowCounts) dec(key uint64) {
+	s := *rc
+	for i := range s {
+		if s[i].key != key {
+			continue
+		}
+		if s[i].n--; s[i].n == 0 {
+			last := len(s) - 1
+			s[i] = s[last]
+			*rc = s[:last]
+		}
+		return
+	}
 }
 
 // Controller is the full multi-channel memory controller. It implements
@@ -192,6 +259,19 @@ type Controller struct {
 	chans []*chanCtl
 
 	lastMem int64
+	// cpm caches cfg.CPUPerMem and nextMemAt the CPU cycle of the next
+	// DRAM tick, replacing the per-Tick modulo/division pair on the clock
+	// ratio with a stride counter (one compare, one add per DRAM tick).
+	cpm       int64
+	nextMemAt int64
+
+	// NextEvent cache, refreshed after every DRAM tick and invalidated
+	// (active=true) by enqueues: active means some channel must be scanned
+	// at the next DRAM tick; otherwise minWake is the earliest channel
+	// wake-up in memory cycles. NextEvent is on the run loop's
+	// per-executed-cycle path, so it must not walk the channels itself.
+	active  bool
+	minWake int64
 }
 
 // New builds a controller; each channel gets its own power accumulator.
@@ -213,7 +293,7 @@ func New(cfg Config) (*Controller, error) {
 		cfg.Timing.PRAMaskCycles = 0
 		cfg.NoTimingRelax = true
 	}
-	c := &Controller{cfg: cfg, am: am, lastMem: -1}
+	c := &Controller{cfg: cfg, am: am, lastMem: -1, cpm: cfg.CPUPerMem, active: true}
 	for i := 0; i < cfg.Channels; i++ {
 		acc := power.NewAccumulator()
 		ch, err := dram.NewChannel(cfg.Timing, cfg.Geom, acc)
@@ -231,7 +311,7 @@ func New(cfg Config) (*Controller, error) {
 			cc.hitCount[r] = make([]int, cfg.Geom.Banks)
 		}
 		cc.refPending = make([]bool, cfg.Geom.Ranks)
-		cc.rowCount = make(map[uint64]int)
+		cc.rowCount = nil
 		cc.rankCount = make([]int, cfg.Geom.Ranks)
 		c.chans = append(c.chans, cc)
 	}
@@ -253,16 +333,15 @@ func (c *Controller) Read(addr uint64, done func(at int64)) bool {
 		cc.stats.ReadRejects++
 		return false
 	}
-	mult := c.cfg.CPUPerMem
-	req := &request{
-		kind:     core.Read,
-		loc:      l,
-		rowKey:   c.am.RowKey(addr),
-		wordMask: core.FullMask,
-		arrive:   c.lastMem + 1,
-		done:     func(mem int64) { done(mem * mult) },
-	}
+	req := cc.allocReq()
+	req.kind = core.Read
+	req.loc = l
+	req.rowKey = c.am.RowKeyOf(l)
+	req.wordMask = core.FullMask
+	req.arrive = c.lastMem + 1
+	req.done = done // invoked with the CPU cycle: call sites scale by CPUPerMem
 	cc.nextWake = 0
+	c.active = true
 	// Forward from the write queue: the newest matching write has the data.
 	for _, w := range cc.writeQ {
 		if w.loc == l {
@@ -302,17 +381,17 @@ func (c *Controller) Write(addr uint64, mask core.ByteMask) bool {
 		cc.stats.WriteRejects++
 		return false
 	}
-	req := &request{
-		kind:     core.Write,
-		loc:      l,
-		rowKey:   c.am.RowKey(addr),
-		byteMask: mask,
-		wordMask: project(mask),
-		arrive:   c.lastMem + 1,
-	}
+	req := cc.allocReq()
+	req.kind = core.Write
+	req.loc = l
+	req.rowKey = c.am.RowKeyOf(l)
+	req.byteMask = mask
+	req.wordMask = project(mask)
+	req.arrive = c.lastMem + 1
 	cc.writeQ = append(cc.writeQ, req)
 	cc.noteAdd(req)
 	cc.nextWake = 0
+	c.active = true
 	return true
 }
 
@@ -337,15 +416,97 @@ func (c *Controller) Pending() bool {
 }
 
 // Tick advances the controller at CPU-cycle granularity; DRAM work happens
-// every CPUPerMem-th cycle.
+// every CPUPerMem-th cycle. The stride counter nextMemAt stands in for a
+// modulo on the clock ratio: between DRAM ticks the call is one compare.
+// A caller that fast-forwarded past nextMemAt without SkipTo is
+// resynchronized here (the overshoot is only legal when every skipped
+// DRAM tick was a provable no-op, which is what NextEvent guarantees).
 func (c *Controller) Tick(cpu int64) {
-	if cpu%c.cfg.CPUPerMem != 0 {
-		return
+	if cpu != c.nextMemAt {
+		if cpu < c.nextMemAt {
+			return
+		}
+		c.SkipTo(cpu)
+		if cpu != c.nextMemAt {
+			return
+		}
 	}
-	mem := cpu / c.cfg.CPUPerMem
+	mem := c.lastMem + 1
 	c.lastMem = mem
+	c.nextMemAt = cpu + c.cpm
 	for _, cc := range c.chans {
 		cc.tick(mem)
+	}
+	c.active = false
+	min := int64(farFuture)
+	for _, cc := range c.chans {
+		if len(cc.forwards) > 0 || cc.nextWake == 0 {
+			c.active = true
+			return
+		}
+		if cc.nextWake < min {
+			min = cc.nextWake
+		}
+	}
+	c.minWake = min
+}
+
+// SkipTo realigns the DRAM clock after the run loop jumps the CPU cycle
+// to target (the next cycle it will execute). It restores the invariant
+// per-cycle ticking maintains — lastMem is the DRAM cycle of the last
+// tick at or before the previous CPU cycle — so request arrival stamps
+// taken between DRAM ticks (lastMem+1) match the unskipped run exactly.
+func (c *Controller) SkipTo(target int64) {
+	if target > c.nextMemAt-c.cpm && target <= c.nextMemAt {
+		// Still inside the current DRAM-tick window (nextMemAt is always a
+		// clock-ratio multiple, so the window floor is nextMemAt-cpm): the
+		// division below would reproduce the state unchanged.
+		return
+	}
+	mem := target / c.cpm
+	if target == mem*c.cpm {
+		c.lastMem = mem - 1
+		c.nextMemAt = target
+	} else {
+		c.lastMem = mem
+		c.nextMemAt = (mem + 1) * c.cpm
+	}
+}
+
+// MemCycle returns the DRAM cycle of the most recent DRAM tick (-1 before
+// the first), i.e. the value per-cycle ticking would have derived as
+// floor(cpu/CPUPerMem). Exposed for the clock-stride regression tests.
+func (c *Controller) MemCycle() int64 { return c.lastMem }
+
+// NextEvent reports the earliest CPU cycle at which the controller can do
+// observable work, assuming nothing new is enqueued before then: the next
+// DRAM tick while any channel is active (pending forwards, or a disarmed
+// wake meaning the scheduler must scan again), otherwise the earliest
+// channel wake-up (readiness or refresh deadline) converted to the CPU
+// clock. Skipped cycles in between are exactly the ticks that per-cycle
+// operation would spend in the "mem < nextWake" sleep path, whose only
+// effect — lazy background-energy accrual — is caught up jump-exactly by
+// AdvanceTo/CatchUp.
+func (c *Controller) NextEvent(now int64) int64 {
+	if c.active {
+		return c.nextMemAt
+	}
+	if c.minWake >= core.FarFuture/c.cpm {
+		return core.FarFuture // avoid overflowing the sentinel
+	}
+	return c.minWake * c.cpm
+}
+
+// CatchUp brings the lazy per-channel background-energy accounting to the
+// point per-cycle ticking would have reached just before CPU cycle cpu —
+// through the last DRAM tick at or before cpu-1. The run loop calls it
+// before reading energy or rank-state cycle counters (epoch samples,
+// end-of-run results) so fast-forwarding never leaves them stale; under
+// per-cycle ticking it is a no-op.
+func (c *Controller) CatchUp(cpu int64) {
+	mem := (cpu - 1) / c.cpm
+	for _, cc := range c.chans {
+		cc.ch.AdvanceTo(mem)
 	}
 }
 
@@ -358,10 +519,13 @@ func (c *Controller) Stats() Stats {
 	return s
 }
 
-// DeviceStats returns the channel-summed DRAM event statistics.
+// DeviceStats returns the channel-summed DRAM event statistics. As a probe
+// it flushes pending background spans first, so the rank-cycle counters are
+// current through the last clocked cycle.
 func (c *Controller) DeviceStats() dram.Stats {
 	var s dram.Stats
 	for _, cc := range c.chans {
+		cc.ch.FlushBackground()
 		d := cc.ch.Stats
 		for g := range s.ActsByGranularity {
 			s.ActsByGranularity[g] += d.ActsByGranularity[g]
@@ -379,10 +543,12 @@ func (c *Controller) DeviceStats() dram.Stats {
 	return s
 }
 
-// Energy returns the channel-summed energy breakdown in pJ.
+// Energy returns the channel-summed energy breakdown in pJ. As a probe it
+// flushes pending background spans first.
 func (c *Controller) Energy() power.Breakdown {
 	var b power.Breakdown
 	for _, cc := range c.chans {
+		cc.ch.FlushBackground()
 		b = b.Add(cc.acc.Energy())
 	}
 	return b
@@ -390,18 +556,22 @@ func (c *Controller) Energy() power.Breakdown {
 
 // --- per-channel scheduling ---
 
-const farFuture = int64(1) << 62
+// farFuture aliases the shared next-event sentinel (core.FarFuture) under
+// the name the scheduling passes historically used.
+const farFuture = core.FarFuture
 
 func (cc *chanCtl) tick(mem int64) {
-	cc.ch.AdvanceTo(mem)
+	cc.ch.Clock(mem)
 
 	// Complete write-forwarded reads one memory cycle after enqueue.
 	if len(cc.forwards) > 0 {
-		for _, f := range cc.forwards {
+		for i, f := range cc.forwards {
 			cc.stats.ReadsServed++
 			cc.stats.RowHitRead++ // served without any DRAM activity
 			cc.stats.ReadLatencySum += mem - f.arrive
-			f.done(mem)
+			f.done(mem * cc.cfg.CPUPerMem)
+			cc.forwards[i] = nil
+			cc.releaseReq(f)
 		}
 		cc.forwards = cc.forwards[:0]
 	}
@@ -447,10 +617,8 @@ func (cc *chanCtl) tick(mem int64) {
 	// Nothing issued: sleep until the earliest collected readiness or the
 	// next refresh deadline, whichever comes first.
 	wake := cc.wakeMin
-	for r := 0; r < cc.cfg.Geom.Ranks; r++ {
-		if due := cc.ch.NextRefreshAt(r); due < wake {
-			wake = due
-		}
+	if due := cc.ch.NextRefreshAny(); due < wake {
+		wake = due
 	}
 	if wake <= mem {
 		wake = mem + 1
@@ -489,6 +657,12 @@ func (cc *chanCtl) schedule(mem int64) bool {
 // issueRefresh drives due refreshes: close the rank's banks, then REF.
 // Returns true when it consumed the command slot.
 func (cc *chanCtl) issueRefresh(mem int64) bool {
+	if cc.ch.NextRefreshAny() > mem {
+		// No rank is due. refPending entries are already false: a pending
+		// flag only rises while its rank is due, and the refresh that
+		// clears the due condition resets the flag in the same pass.
+		return false
+	}
 	for r := 0; r < cc.cfg.Geom.Ranks; r++ {
 		if !cc.ch.RefreshDue(mem, r) {
 			cc.refPending[r] = false
@@ -545,8 +719,28 @@ func (cc *chanCtl) tryColumn(mem int64, q *[]*request) bool {
 	if cc.ch.OpenBankCount() == 0 {
 		return false // no open rows, so no column command can be legal
 	}
-	// Hoist open-row state: one snapshot instead of per-request lookups.
 	geom := cc.cfg.Geom
+	burst := cc.cfg.Scheme.burstCycles(cc.cfg.Timing.TBURST)
+	if len(*q) < geom.Ranks*geom.Banks {
+		// Short queue: one OpenRow per request beats snapshotting every
+		// bank (the common case — queues are near-empty most cycles).
+		for i, req := range *q {
+			l := req.loc
+			if cc.refPending[l.Rank] {
+				continue
+			}
+			row, mask, open := cc.ch.OpenRow(l.Rank, l.Bank)
+			if !open || row != l.Row {
+				continue
+			}
+			if cc.issueColumn(mem, q, i, req, mask, burst) {
+				return true
+			}
+		}
+		return false
+	}
+	// Deep queue: hoist open-row state, one snapshot instead of
+	// per-request lookups.
 	var openRows [64]int32 // row or -1; geometry is validated <= 64 banks
 	for r := 0; r < geom.Ranks; r++ {
 		for b := 0; b < geom.Banks; b++ {
@@ -557,45 +751,56 @@ func (cc *chanCtl) tryColumn(mem int64, q *[]*request) bool {
 			}
 		}
 	}
-	burst := cc.cfg.Scheme.burstCycles(cc.cfg.Timing.TBURST)
 	for i, req := range *q {
 		l := req.loc
 		if openRows[l.Rank*geom.Banks+l.Bank] != int32(l.Row) || cc.refPending[l.Rank] {
 			continue
 		}
 		_, mask, _ := cc.ch.OpenRow(l.Rank, l.Bank)
-		if core.ClassifyAccess(true, true, mask, req.kind, req.need()) != core.Hit {
-			continue
+		if cc.issueColumn(mem, q, i, req, mask, burst) {
+			return true
 		}
-		if cc.hitCount[l.Rank][l.Bank] >= cc.cfg.MaxRowHits {
-			continue
-		}
-		autoPre := cc.autoPrecharge(req, mask)
-		if req.kind == core.Read {
-			if at := cc.ch.ReadReadyAt(mem, l.Rank, l.Bank, burst); at > mem {
-				cc.noteReady(at)
-				continue
-			}
-			done, err := cc.ch.Read(mem, l.Rank, l.Bank, burst, cc.cfg.Scheme.ioFrac(), autoPre)
-			if err != nil {
-				continue
-			}
-			cc.finishColumn(q, i, req, autoPre)
-			cc.stats.ReadLatencySum += done - req.arrive
-			req.done(done)
-		} else {
-			if at := cc.ch.WriteReadyAt(mem, l.Rank, l.Bank, burst); at > mem {
-				cc.noteReady(at)
-				continue
-			}
-			if _, err := cc.ch.Write(mem, l.Rank, l.Bank, burst, cc.writeFrac(req), autoPre); err != nil {
-				continue
-			}
-			cc.finishColumn(q, i, req, autoPre)
-		}
-		return true
 	}
 	return false
+}
+
+// issueColumn attempts the column command for request i of q, whose bank
+// holds its row open under mask. Reports whether a command issued; both
+// tryColumn scan paths funnel through here so their decisions are
+// identical by construction.
+func (cc *chanCtl) issueColumn(mem int64, q *[]*request, i int, req *request, mask core.Mask, burst int) bool {
+	l := req.loc
+	if core.ClassifyAccess(true, true, mask, req.kind, req.need()) != core.Hit {
+		return false
+	}
+	if cc.hitCount[l.Rank][l.Bank] >= cc.cfg.MaxRowHits {
+		return false
+	}
+	autoPre := cc.autoPrecharge(req, mask)
+	if req.kind == core.Read {
+		if at := cc.ch.ReadReadyAt(mem, l.Rank, l.Bank, burst); at > mem {
+			cc.noteReady(at)
+			return false
+		}
+		done, err := cc.ch.Read(mem, l.Rank, l.Bank, burst, cc.cfg.Scheme.ioFrac(), autoPre)
+		if err != nil {
+			return false
+		}
+		cc.finishColumn(q, i, req, autoPre)
+		cc.stats.ReadLatencySum += done - req.arrive
+		req.done(done * cc.cfg.CPUPerMem)
+	} else {
+		if at := cc.ch.WriteReadyAt(mem, l.Rank, l.Bank, burst); at > mem {
+			cc.noteReady(at)
+			return false
+		}
+		if _, err := cc.ch.Write(mem, l.Rank, l.Bank, burst, cc.writeFrac(req), autoPre); err != nil {
+			return false
+		}
+		cc.finishColumn(q, i, req, autoPre)
+	}
+	cc.releaseReq(req)
+	return true
 }
 
 // finishColumn updates hit accounting and removes the request from its
@@ -640,7 +845,7 @@ func (cc *chanCtl) autoPrecharge(req *request, openMask core.Mask) bool {
 		return false // rows stay open until a conflict or the hit cap
 	}
 	// req itself is still queued, so a count of 1 means nobody else.
-	if cc.rowCount[req.rowKey] <= 1 {
+	if cc.rowCount.get(req.rowKey) <= 1 {
 		return true
 	}
 	if openMask.IsFull() {
@@ -666,7 +871,7 @@ func (cc *chanCtl) actMask(req *request) core.Mask {
 	if !cc.cfg.Scheme.praWrites() || req.kind == core.Read {
 		return core.FullMask
 	}
-	if cc.rowCount[req.rowKey] <= 1 {
+	if cc.rowCount.get(req.rowKey) <= 1 {
 		return req.need() // no other queued request shares the row
 	}
 	m := req.need()
@@ -761,6 +966,9 @@ func (cc *chanCtl) idleManage(mem int64) bool {
 	geom := cc.cfg.Geom
 	if cc.ch.OpenBankCount() > 0 && cc.cfg.Policy != OpenPage {
 		for r := 0; r < geom.Ranks; r++ {
+			if !cc.ch.AnyBankOpen(r) {
+				continue // skip the bank walk for fully closed ranks
+			}
 			for b := 0; b < geom.Banks; b++ {
 				row, mask, open := cc.ch.OpenRow(r, b)
 				if !open {
@@ -781,12 +989,11 @@ func (cc *chanCtl) idleManage(mem int64) bool {
 		}
 	}
 	for r := 0; r < geom.Ranks; r++ {
-		if cc.ch.AnyBankOpen(r) || cc.rankHasWork(r) || cc.ch.RefreshDue(mem, r) {
+		if cc.ch.PoweredDown(r) || cc.ch.AnyBankOpen(r) || cc.rankHasWork(r) || cc.ch.RefreshDue(mem, r) {
 			continue
 		}
-		was := cc.ch.PoweredDown(r)
 		cc.ch.PowerDown(mem, r)
-		if !was && cc.ch.PoweredDown(r) && cc.ev.Enabled(obs.LevelState) {
+		if cc.ch.PoweredDown(r) && cc.ev.Enabled(obs.LevelState) {
 			cc.ev.Emit(obs.Event{Cycle: mem, Level: obs.LevelState, Scope: cc.scope,
 				Kind: "power-down", Detail: fmt.Sprintf("rank %d idle, entering precharge power-down", r)})
 		}
@@ -800,7 +1007,7 @@ func (cc *chanCtl) rowBenefits(rank, bank, row int, mask core.Mask) bool {
 		return false
 	}
 	key := cc.am.RowKeyOf(Loc{Channel: cc.idx, Rank: rank, Bank: bank, Row: row})
-	if cc.rowCount[key] == 0 {
+	if cc.rowCount.get(key) == 0 {
 		return false
 	}
 	if mask.IsFull() {

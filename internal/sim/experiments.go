@@ -46,6 +46,12 @@ type ExpOptions struct {
 	// the budget above, and ModelVersion, and later invocations — including
 	// separate processes and CI reruns — recall it instead of simulating.
 	CacheDir string
+
+	// NoSkip disables event-driven cycle skipping on every run the runner
+	// launches (praexp -noskip). Results are bit-identical either way
+	// (enforced by the determinism suite), which is also why the on-disk
+	// cache deliberately does not key on it.
+	NoSkip bool
 }
 
 // DefaultExpOptions returns the standard experiment budget.
@@ -172,6 +178,7 @@ func (r *Runner) config(k runKey) Config {
 	cfg.NoPartialIO = k.noIO
 	cfg.NoMaskCycle = k.noCycle
 	cfg.Obs = r.opt.Obs
+	cfg.NoSkip = r.opt.NoSkip
 	return cfg
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"pradram/internal/cache"
+	"pradram/internal/core"
 	"pradram/internal/cpu"
 	"pradram/internal/dram"
 	"pradram/internal/memctrl"
@@ -65,8 +66,18 @@ type Config struct {
 	Seed          uint64
 
 	// MaxCycles aborts a run that stopped making progress; 0 derives a
-	// generous bound from InstrPerCore.
+	// generous bound from InstrPerCore. The bound is spent in ticks
+	// *executed*, not cycles elapsed, so it stays meaningful when the run
+	// loop fast-forwards over quiescent stretches (which can legitimately
+	// push the cycle number far past any fixed cycle budget).
 	MaxCycles int64
+
+	// NoSkip disables event-driven fast-forwarding: the run loop ticks
+	// every component on every CPU cycle, as the original implementation
+	// did. Results are bit-identical either way (the determinism suite
+	// enforces it); the flag exists as a debugging escape hatch and as
+	// the baseline for the speed benchmarks.
+	NoSkip bool
 
 	CPU cpu.Config
 
@@ -146,6 +157,13 @@ type System struct {
 	cpm      int64
 	epochCPU int64
 	recNext  int64
+
+	// skipped counts CPU cycles the run loop fast-forwarded over (zero
+	// under Config.NoSkip) and ticks the loop iterations it actually
+	// executed; tests use them to prove the skip path engaged and to pin
+	// the executed-ticks budget semantics.
+	skipped int64
+	ticks   int64
 }
 
 // New assembles a system from the configuration.
@@ -236,12 +254,25 @@ func New(cfg Config) (*System, error) {
 // own finish point.
 func (s *System) Run() (Result, error) {
 	target := s.cfg.InstrPerCore
-	maxCycles := s.cfg.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = (target+s.cfg.WarmupPerCore)*2000 + 10_000_000
+	// The no-progress budget counts ticks executed (cycles the loop
+	// actually simulated), not cycles elapsed: fast-forwarding can push
+	// the cycle number arbitrarily far without doing work, and work —
+	// not wall-clock position — is what a hung run fails to convert into
+	// retirement. With skipping off the two measures coincide, so the
+	// seed's abort behaviour is unchanged.
+	maxTicks := s.cfg.MaxCycles
+	if maxTicks == 0 {
+		maxTicks = (target+s.cfg.WarmupPerCore)*2000 + 10_000_000
 	}
 
-	var cycle int64
+	var cycle, ticks int64
+	defer func() { s.ticks = ticks }()
+	// With skipping on, a cycle another component forces the loop to
+	// execute still need not Tick a blocked core: a quiescent core's Tick
+	// is a provable no-op (the NextEvent contract), so SkipCycles stands in
+	// for it. With skipping off every component ticks every cycle, keeping
+	// the baseline faithful to per-cycle operation.
+	skipIdle := !s.cfg.NoSkip
 	// Warmup: run the requested instructions, then reset every statistic
 	// so the measured window sees steady-state cache and DRAM behaviour.
 	if s.cfg.WarmupPerCore > 0 {
@@ -249,12 +280,17 @@ func (s *System) Run() (Result, error) {
 		remaining := len(s.cores)
 		done := make([]bool, len(s.cores))
 		for remaining > 0 {
-			if cycle >= maxCycles {
-				return Result{}, fmt.Errorf("sim: warmup made no progress after %d cycles", cycle)
+			if ticks >= maxTicks {
+				return Result{}, fmt.Errorf("sim: warmup made no progress after %d executed ticks (cycle %d)", ticks, cycle)
 			}
+			ticks++
 			s.now = cycle
 			s.hier.Tick(cycle)
 			for i, c := range s.cores {
+				if skipIdle && c.Quiescent() {
+					c.SkipCycles(1)
+					continue // cannot retire, so the done check is moot
+				}
 				c.Tick(cycle)
 				if !done[i] && c.Retired >= warm {
 					done[i] = true
@@ -263,7 +299,16 @@ func (s *System) Run() (Result, error) {
 			}
 			s.ctrl.Tick(cycle)
 			cycle++
+			if remaining > 0 {
+				var err error
+				if cycle, err = s.fastForward(cycle); err != nil {
+					return Result{}, err
+				}
+			}
 		}
+		// Fast-forwarding defers background-energy accrual; settle it at
+		// the boundary so the reset discards exactly the warmup share.
+		s.ctrl.CatchUp(cycle)
 		for _, c := range s.cores {
 			c.ResetStats()
 		}
@@ -295,12 +340,17 @@ func (s *System) Run() (Result, error) {
 		s.recNext = cycle + s.epochCPU
 	}
 	for remaining > 0 {
-		if cycle >= maxCycles {
-			return Result{}, fmt.Errorf("sim: no progress after %d cycles (%d cores unfinished)", cycle, remaining)
+		if ticks >= maxTicks {
+			return Result{}, fmt.Errorf("sim: no progress after %d executed ticks (cycle %d, %d cores unfinished)", ticks, cycle, remaining)
 		}
+		ticks++
 		s.now = cycle
 		s.hier.Tick(cycle)
 		for i, c := range s.cores {
+			if skipIdle && c.Quiescent() {
+				c.SkipCycles(1)
+				continue // cannot retire, so the finish check is moot
+			}
 			c.Tick(cycle)
 			if finish[i] < 0 && c.Retired >= target {
 				finish[i] = cycle - start + 1
@@ -309,11 +359,21 @@ func (s *System) Run() (Result, error) {
 		}
 		s.ctrl.Tick(cycle)
 		cycle++
+		if remaining > 0 {
+			var err error
+			if cycle, err = s.fastForward(cycle); err != nil {
+				return Result{}, err
+			}
+		}
 		if s.rec != nil && cycle >= s.recNext {
+			// Settle lazy accrual so the sampled energy and rank-state
+			// counters match per-cycle ticking exactly (no-op there).
+			s.ctrl.CatchUp(cycle)
 			s.rec.Sample(cycle / s.cpm)
 			s.recNext += s.epochCPU
 		}
 	}
+	s.ctrl.CatchUp(cycle)
 	if s.rec != nil {
 		s.rec.Flush(cycle / s.cpm)
 	}
@@ -337,6 +397,66 @@ func (s *System) Run() (Result, error) {
 	}
 	return res, nil
 }
+
+// fastForward decides the next cycle the run loop executes, given that
+// next (= the cycle just executed, plus one) is the default. When every
+// component reports that nothing can change before some future cycle, the
+// loop jumps straight there: the skipped ticks are exact no-ops, which is
+// what each component's NextEvent contract guarantees. The jump is
+// clamped to the next telemetry epoch boundary so sample timing (and
+// therefore the recorded timeline) is untouched, and the controller's
+// DRAM-clock stride is realigned so arrival stamps match per-cycle
+// ticking bit for bit. A system that is totally quiescent — every
+// component at FarFuture while cores still owe instructions — can never
+// make progress again, so that is reported as an error immediately
+// rather than burning the tick budget.
+func (s *System) fastForward(next int64) (int64, error) {
+	if s.cfg.NoSkip {
+		return next, nil
+	}
+	now := next - 1
+	// Cores first: a core that retired or dispatched this tick reports
+	// now+1, which nothing can beat, so the scan stops without paying for
+	// the controller's per-channel walk (the common case while any core
+	// is making progress). min is commutative, so the order cannot change
+	// the jump target.
+	target := int64(core.FarFuture)
+	for _, c := range s.cores {
+		if t := c.NextEvent(now); t < target {
+			if t <= next {
+				return next, nil
+			}
+			target = t
+		}
+	}
+	if t := s.hier.NextEvent(now); t < target {
+		target = t
+	}
+	if t := s.ctrl.NextEvent(now); t < target {
+		target = t
+	}
+	if target >= core.FarFuture {
+		return 0, fmt.Errorf("sim: no progress possible: all components quiescent at cycle %d", now)
+	}
+	if s.recNext > 0 && target > s.recNext {
+		target = s.recNext
+	}
+	if target <= next {
+		return next, nil
+	}
+	s.ctrl.SkipTo(target)
+	delta := target - next
+	s.skipped += delta
+	for _, c := range s.cores {
+		c.SkipCycles(delta)
+	}
+	return target, nil
+}
+
+// Skipped returns the number of CPU cycles fast-forwarded over so far
+// (always zero with Config.NoSkip). Exposed so tests and benchmarks can
+// verify the event-driven path actually engaged.
+func (s *System) Skipped() int64 { return s.skipped }
 
 // Trace returns the request stream captured over the measured window, or
 // nil when Config.Capture was off. Replay it with the trace package.

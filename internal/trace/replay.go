@@ -28,12 +28,26 @@ func (r ReplayResult) AvgPowerMW() float64 {
 	return r.Energy.Total() / ns
 }
 
+// ReplayOpts tunes the replay driver.
+type ReplayOpts struct {
+	// NoSkip disables event-driven fast-forwarding between DRAM events
+	// and record arrivals, ticking every CPU cycle as the original driver
+	// did. Results are bit-identical either way; the flag is a debugging
+	// escape hatch (pratrace -noskip).
+	NoSkip bool
+}
+
 // Replay feeds a recorded request stream into a fresh controller built
 // from cfg, preserving arrival times (with backpressure allowed to slip
 // them), and runs until every request completes. Request ordering and
 // addresses are exactly those of the capture; only the scheme/policy under
 // test differs — the fast what-if path.
 func Replay(t *Trace, cfg memctrl.Config) (ReplayResult, error) {
+	return ReplayWith(t, cfg, ReplayOpts{})
+}
+
+// ReplayWith is Replay with explicit driver options.
+func ReplayWith(t *Trace, cfg memctrl.Config, opt ReplayOpts) (ReplayResult, error) {
 	ctrl, err := memctrl.New(cfg)
 	if err != nil {
 		return ReplayResult{}, err
@@ -43,27 +57,33 @@ func Replay(t *Trace, cfg memctrl.Config) (ReplayResult, error) {
 	i := 0
 	cycle := int64(0)
 	// A generous bound: replays are short, but a scheduling bug must not
-	// hang the caller.
+	// hang the caller. Like the sim run loop, it is spent in ticks
+	// executed so it stays meaningful under fast-forwarding.
 	last := int64(0)
 	if n := len(t.Records); n > 0 {
 		last = t.Records[n-1].At
 	}
-	maxCycles := last + int64(len(t.Records))*2000 + 10_000_000
+	maxTicks := last + int64(len(t.Records))*2000 + 10_000_000
+	ticks := int64(0)
 
 	for i < len(t.Records) || outstanding > 0 || ctrl.Pending() {
-		if cycle > maxCycles {
-			return res, fmt.Errorf("trace: replay stalled at cycle %d (%d records left, %d outstanding)",
-				cycle, len(t.Records)-i, outstanding)
+		if ticks > maxTicks {
+			return res, fmt.Errorf("trace: replay stalled at cycle %d after %d executed ticks (%d records left, %d outstanding)",
+				cycle, ticks, len(t.Records)-i, outstanding)
 		}
+		ticks++
+		blocked := false
 		for i < len(t.Records) && t.Records[i].At <= cycle {
 			rec := t.Records[i]
 			if rec.Write {
 				if !ctrl.Write(rec.Addr, rec.Mask) {
+					blocked = true
 					break // queue full: retry next cycle (time slips)
 				}
 				res.Writes++
 			} else {
 				if !ctrl.Read(rec.Addr, func(int64) { outstanding-- }) {
+					blocked = true
 					break
 				}
 				outstanding++
@@ -73,7 +93,25 @@ func Replay(t *Trace, cfg memctrl.Config) (ReplayResult, error) {
 		}
 		ctrl.Tick(cycle)
 		cycle++
+		// Fast-forward to the controller's next event or the next record
+		// arrival, whichever is sooner. A refused record pins the loop to
+		// per-cycle retries: each attempt bumps a reject counter, so
+		// skipping retries would be observable in the stats. Once all
+		// work has drained the loop is about to exit, and jumping (to the
+		// next refresh, say) would inflate the cycle count.
+		if !opt.NoSkip && !blocked &&
+			(i < len(t.Records) || outstanding > 0 || ctrl.Pending()) {
+			next := ctrl.NextEvent(cycle - 1)
+			if i < len(t.Records) && t.Records[i].At < next {
+				next = t.Records[i].At
+			}
+			if next > cycle {
+				ctrl.SkipTo(next)
+				cycle = next
+			}
+		}
 	}
+	ctrl.CatchUp(cycle)
 	res.Cycles = cycle
 	res.Ctrl = ctrl.Stats()
 	res.Dev = ctrl.DeviceStats()

@@ -1,19 +1,35 @@
-// Command benchgate is CI's telemetry-overhead gate. It runs the paired
+// Command benchgate is CI's performance gate. It has two modes, both built
+// on the same principle: CI has no stored hardware-normalized ns/op to
+// diff against, so every invariant under guard is a *ratio between two
+// benchmarks run back to back on the same host*, which cancels the
+// machine out.
+//
+// The default mode is the telemetry-overhead gate: it runs the paired
 // internal/obs hot-path benchmarks (the same DRAM command loop with
 // telemetry disabled and fully enabled), takes the minimum ns/op of
 // several repetitions of each, writes the measurements to BENCH_obs.json,
 // and fails when the telemetry-off path costs more than 1.05x the
-// telemetry-on path.
+// telemetry-on path — a disabled path drifting up toward the enabled cost
+// means "off" is no longer free (a broken level guard, a probe read left
+// in the per-cycle path).
 //
-// The invariant under guard is directional, not absolute: the disabled
-// path must stay at least as cheap as the enabled one. A disabled path
-// that drifts up toward (or past) the enabled cost means "off" is no
-// longer free — a broken level guard, a probe read left in the per-cycle
-// path — which is exactly the class of regression a hand-run benchmark
-// comparison would catch and CI otherwise cannot (it has no stored
-// baseline hardware-normalized ns/op to diff against).
+// -speed switches to the cycle-skipping gate: it runs the paired
+// full-system internal/sim benchmarks (identical deterministic runs with
+// event-driven fast-forwarding on and off) and fails when either
 //
-// Usage: go run ./tools/benchgate [-out BENCH_obs.json] [-count 5]
+//   - the memory-bound pair's noskip/skip ratio falls below its floor
+//     (the skip path stopped skipping, or its bookkeeping got expensive —
+//     the ">5% skip-path regression" class of bug shows up here first,
+//     since the run work is identical by construction), or
+//   - the compute-bound skip run costs more than 1.05x its noskip twin
+//     (the NextEvent bookkeeping must be free when there is nothing to
+//     skip, which also guards the per-cycle baseline itself: both runs
+//     share every instruction of the simulation proper).
+//
+// Measurements go to BENCH_speed.json, alongside a reference block with
+// the development-time absolute numbers against the pre-skipping tree.
+//
+// Usage: go run ./tools/benchgate [-speed] [-out FILE] [-count 5]
 package main
 
 import (
@@ -28,6 +44,19 @@ import (
 
 const threshold = 1.05
 
+// Floors/ceilings for the -speed gate. The memory-bound speedup floor sits
+// well under the ~2.4x measured at development time so host variation
+// cannot flake the gate, while still catching any change that stops the
+// fast path from paying for itself.
+const (
+	speedupFloor  = 1.5
+	overheadCeil  = 1.05
+	memBoundSkip  = "BenchmarkSpeedMemBoundSkip"
+	memBoundFull  = "BenchmarkSpeedMemBoundNoSkip"
+	compBoundSkip = "BenchmarkSpeedComputeBoundSkip"
+	compBoundFull = "BenchmarkSpeedComputeBoundNoSkip"
+)
+
 type report struct {
 	OffNsOp   float64 `json:"off_ns_op"`
 	OnNsOp    float64 `json:"on_ns_op"`
@@ -37,25 +66,72 @@ type report struct {
 	Pass      bool    `json:"pass"`
 }
 
+type speedPair struct {
+	SkipNsOp   float64 `json:"skip_ns_op"`
+	NoSkipNsOp float64 `json:"noskip_ns_op"`
+	Speedup    float64 `json:"noskip_over_skip"`
+}
+
+type speedReport struct {
+	MemoryBound  speedPair `json:"memory_bound"`  // single-core LinkedList
+	ComputeBound speedPair `json:"compute_bound"` // 4-core bzip2
+	SpeedupFloor float64   `json:"memory_bound_speedup_floor"`
+	OverheadCeil float64   `json:"compute_bound_overhead_ceiling"`
+	Count        int       `json:"count"`
+	Pass         bool      `json:"pass"`
+	// Reference records the development-time absolute measurements that
+	// motivated the gate (best of 3, single host), including the wall
+	// clock of the same runs on the tree as it stood before event-driven
+	// skipping landed. CI never compares against these — they are context
+	// for a human reading the artifact, not a baseline.
+	Reference speedRef `json:"reference_dev_measurements"`
+}
+
+type speedRef struct {
+	Host             string  `json:"host"`
+	MemBoundSkipMs   float64 `json:"memory_bound_skip_ms"`
+	MemBoundNoSkipMs float64 `json:"memory_bound_noskip_ms"`
+	MemBoundSeedMs   float64 `json:"memory_bound_preskip_tree_ms"`
+	MemBoundVsSeed   float64 `json:"memory_bound_speedup_vs_preskip_tree"`
+	GUPSSkipMs       float64 `json:"gups_skip_ms"`
+	GUPSSeedMs       float64 `json:"gups_preskip_tree_ms"`
+	GUPSVsSeed       float64 `json:"gups_speedup_vs_preskip_tree"`
+}
+
 // benchLine matches e.g. "BenchmarkTelemetryOffHotPath  1  115029 ns/op".
-var benchLine = regexp.MustCompile(`(?m)^(BenchmarkTelemetry\w+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
 func main() {
-	out := flag.String("out", "BENCH_obs.json", "where to write the measurement report")
+	speed := flag.Bool("speed", false, "run the cycle-skipping speed gate instead of the telemetry-overhead gate")
+	out := flag.String("out", "", "where to write the measurement report (default BENCH_obs.json, or BENCH_speed.json with -speed)")
 	count := flag.Int("count", 5, "benchmark repetitions (minimum is kept)")
 	flag.Parse()
+	if *out == "" {
+		if *speed {
+			*out = "BENCH_speed.json"
+		} else {
+			*out = "BENCH_obs.json"
+		}
+	}
+	if *speed {
+		runSpeed(*out, *count)
+		return
+	}
+	runObs(*out, *count)
+}
 
+// runBench runs the named benchmarks in pkg count times at -benchtime 1x
+// and returns the minimum ns/op per benchmark: noise on shared CI machines
+// only inflates timings, so the minimum is the best estimate of true cost.
+func runBench(pattern, pkg string, count int) map[string]float64 {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", "BenchmarkTelemetry", "-benchtime", "1x",
-		"-count", strconv.Itoa(*count), "./internal/obs")
+		"-bench", pattern, "-benchtime", "1x",
+		"-count", strconv.Itoa(count), pkg)
 	raw, err := cmd.CombinedOutput()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: benchmark run failed: %v\n%s", err, raw)
 		os.Exit(1)
 	}
-
-	// Keep the minimum per benchmark: noise on shared CI machines only
-	// inflates timings, so the minimum is the best estimate of true cost.
 	mins := map[string]float64{}
 	for _, m := range benchLine.FindAllStringSubmatch(string(raw), -1) {
 		ns, err := strconv.ParseFloat(m[2], 64)
@@ -66,10 +142,75 @@ func main() {
 			mins[m[1]] = ns
 		}
 	}
+	return mins
+}
+
+func writeReport(out string, rep any) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func runSpeed(out string, count int) {
+	mins := runBench("BenchmarkSpeed", "./internal/sim", count)
+	need := []string{memBoundSkip, memBoundFull, compBoundSkip, compBoundFull}
+	for _, n := range need {
+		if _, ok := mins[n]; !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: missing benchmark %s (parsed %v)\n", n, mins)
+			os.Exit(1)
+		}
+	}
+	rep := speedReport{
+		MemoryBound: speedPair{
+			SkipNsOp:   mins[memBoundSkip],
+			NoSkipNsOp: mins[memBoundFull],
+			Speedup:    mins[memBoundFull] / mins[memBoundSkip],
+		},
+		ComputeBound: speedPair{
+			SkipNsOp:   mins[compBoundSkip],
+			NoSkipNsOp: mins[compBoundFull],
+			Speedup:    mins[compBoundFull] / mins[compBoundSkip],
+		},
+		SpeedupFloor: speedupFloor,
+		OverheadCeil: overheadCeil,
+		Count:        count,
+		Reference: speedRef{
+			Host:             "Intel Xeon @ 2.10GHz (development container)",
+			MemBoundSkipMs:   35.6,
+			MemBoundNoSkipMs: 86.6,
+			MemBoundSeedMs:   119.5,
+			MemBoundVsSeed:   3.36,
+			GUPSSkipMs:       92.3,
+			GUPSSeedMs:       165.0,
+			GUPSVsSeed:       1.79,
+		},
+	}
+	rep.Pass = rep.MemoryBound.Speedup >= speedupFloor &&
+		rep.ComputeBound.SkipNsOp <= rep.ComputeBound.NoSkipNsOp*overheadCeil
+	writeReport(out, rep)
+	fmt.Printf("benchgate: mem-bound %.1fms skip / %.1fms noskip (%.2fx, floor %.1fx); compute-bound %.1fms skip / %.1fms noskip -> %s\n",
+		rep.MemoryBound.SkipNsOp/1e6, rep.MemoryBound.NoSkipNsOp/1e6, rep.MemoryBound.Speedup, speedupFloor,
+		rep.ComputeBound.SkipNsOp/1e6, rep.ComputeBound.NoSkipNsOp/1e6,
+		map[bool]string{true: "PASS", false: "FAIL"}[rep.Pass])
+	if !rep.Pass {
+		fmt.Fprintln(os.Stderr, "benchgate: cycle-skipping gate failed: either the fast-forward path lost its speedup on the memory-bound run, or its bookkeeping now taxes the compute-bound run")
+		os.Exit(1)
+	}
+}
+
+func runObs(out string, count int) {
+	mins := runBench("BenchmarkTelemetry", "./internal/obs", count)
 	off, okOff := mins["BenchmarkTelemetryOffHotPath"]
 	on, okOn := mins["BenchmarkTelemetryOnHotPath"]
 	if !okOff || !okOn {
-		fmt.Fprintf(os.Stderr, "benchgate: missing benchmark results (parsed %v) in:\n%s", mins, raw)
+		fmt.Fprintf(os.Stderr, "benchgate: missing benchmark results (parsed %v)\n", mins)
 		os.Exit(1)
 	}
 
@@ -78,19 +219,10 @@ func main() {
 		OnNsOp:    on,
 		Ratio:     off / on,
 		Threshold: threshold,
-		Count:     *count,
+		Count:     count,
 		Pass:      off <= on*threshold,
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(1)
-	}
+	writeReport(out, rep)
 	fmt.Printf("benchgate: off %.0f ns/op, on %.0f ns/op, ratio %.3f (threshold %.2f) -> %s\n",
 		rep.OffNsOp, rep.OnNsOp, rep.Ratio, rep.Threshold, map[bool]string{true: "PASS", false: "FAIL"}[rep.Pass])
 	if !rep.Pass {
