@@ -11,6 +11,7 @@
 //	praexp -exp fig13 -instr 2000000 -warmup 1000000
 //	praexp -exp all -j 8           # 8 simulations in flight
 //	praexp -exp all -cache ~/.cache/pradram   # reuse results across runs
+//	praexp -exp all -ckpt-dir ~/.cache/pradram-ckpt   # reuse warmups too
 //	praexp -exp all -http :6060    # live progress JSON + pprof
 //
 // While a campaign runs, a progress line (runs done / in flight / ETA)
@@ -24,6 +25,13 @@
 // on stdout are byte-identical for every -j (timings go to stderr).
 // With -cache, results also persist on disk keyed by configuration,
 // budget, and model version, so repeated invocations skip simulation.
+//
+// Runs that still have to simulate reuse warmup checkpoints (DESIGN.md
+// §4e): configurations sharing a warmup fingerprint warm once and restore
+// the snapshot thereafter, with bit-identical results. -ckpt-dir persists
+// the snapshots across invocations; -nockpt disables reuse entirely. The
+// closing summary and the -http /vars/checkpoints endpoint report how many
+// warmups were reused versus paid cold.
 package main
 
 import (
@@ -49,6 +57,8 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress the stderr progress line")
 		noskip   = flag.Bool("noskip", false, "disable event-driven cycle skipping (identical results, slower campaign)")
 		httpAddr = flag.String("http", "", "serve live campaign progress and pprof on this address (e.g. :6060)")
+		ckptDir  = flag.String("ckpt-dir", "", "persist warmup checkpoints in this directory so later invocations restore instead of re-warming (empty = in-memory reuse only)")
+		nockpt   = flag.Bool("nockpt", false, "disable warmup checkpoint reuse (identical results, every run warms from scratch)")
 	)
 	flag.Parse()
 
@@ -69,21 +79,29 @@ func main() {
 		stopReporter = prog.Reporter(os.Stderr, time.Second, "praexp")
 	}
 	defer stopReporter()
+
+	runner := sim.NewRunner(sim.ExpOptions{
+		Instr: *instr, Warmup: *warmup, Seed: *seed,
+		Workers: *workers, CacheDir: *cacheDir,
+		Progress: prog, NoSkip: *noskip,
+		CkptDir: *ckptDir, NoCheckpoint: *nockpt,
+	})
+
 	if *httpAddr != "" {
 		srv := obs.NewServer()
 		srv.Publish("progress", func() any { return prog.Snapshot() })
+		srv.Publish("checkpoints", func() any {
+			return map[string]int64{
+				"hits":   runner.CheckpointHits(),
+				"misses": runner.CheckpointMisses(),
+			}
+		})
 		go func() {
 			if err := srv.ListenAndServe(*httpAddr); err != nil {
 				fmt.Fprintln(os.Stderr, "praexp: http:", err)
 			}
 		}()
 	}
-
-	runner := sim.NewRunner(sim.ExpOptions{
-		Instr: *instr, Warmup: *warmup, Seed: *seed,
-		Workers: *workers, CacheDir: *cacheDir,
-		Progress: prog, NoSkip: *noskip,
-	})
 
 	run := func(e sim.Experiment) error {
 		start := time.Now()
@@ -122,6 +140,7 @@ func main() {
 		}
 	}
 	stopReporter()
-	fmt.Fprintf(os.Stderr, "(total: %v, %d simulations run, %d disk-cache hits, -j %d)\n",
-		time.Since(start).Round(time.Millisecond), runner.Simulations(), runner.DiskHits(), *workers)
+	fmt.Fprintf(os.Stderr, "(total: %v, %d simulations run, %d disk-cache hits, %d warmups reused / %d cold, -j %d)\n",
+		time.Since(start).Round(time.Millisecond), runner.Simulations(), runner.DiskHits(),
+		runner.CheckpointHits(), runner.CheckpointMisses(), *workers)
 }

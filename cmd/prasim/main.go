@@ -14,6 +14,10 @@
 // output is identical for every -j (each run is deterministic and
 // independent). With -json, one JSON document is emitted per workload.
 //
+// -ckpt-dir persists warmup checkpoints (DESIGN.md §4e): a later
+// invocation whose configuration shares a warmup fingerprint restores the
+// snapshot instead of re-warming, with bit-identical results.
+//
 // Telemetry (see internal/obs and DESIGN.md "Observability"):
 //
 //	prasim -workload gups -timeline tl.csv -epoch 50000
@@ -39,6 +43,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pradram"
@@ -62,6 +67,7 @@ func main() {
 		ecc          = flag.Bool("ecc", false, "model an x72 ECC DIMM (Section 4.2)")
 		workers      = flag.Int("j", runtime.NumCPU(), "max simulations in flight for workload batches")
 		noskip       = flag.Bool("noskip", false, "disable event-driven cycle skipping (tick every CPU cycle; results are identical, runs are slower)")
+		ckptDir      = flag.String("ckpt-dir", "", "persist warmup checkpoints in this directory and restore matching ones instead of re-warming (results are identical)")
 
 		epoch     = flag.Int64("epoch", 100_000, "telemetry sampling epoch in DRAM cycles (used with -timeline / -http)")
 		timeline  = flag.String("timeline", "", "write the per-epoch time-series to this file (.json for JSON, else CSV)")
@@ -96,6 +102,7 @@ func main() {
 
 	names := strings.Split(*workloadName, ",")
 	systems := make([]*pradram.System, len(names))
+	cfgs := make([]pradram.Config, len(names))
 	for i, name := range names {
 		names[i] = strings.TrimSpace(name)
 		cfg := pradram.DefaultConfig(names[i])
@@ -109,6 +116,7 @@ func main() {
 		cfg.Seed = *seed
 		cfg.NoSkip = *noskip
 		cfg.Obs = obsCfg
+		cfgs[i] = cfg
 		if systems[i], err = pradram.NewSystem(cfg); err != nil {
 			fatal(err)
 		}
@@ -140,6 +148,12 @@ func main() {
 		}()
 	}
 
+	var store *pradram.CheckpointStore
+	if *ckptDir != "" {
+		store = pradram.NewCheckpointStore(*ckptDir)
+	}
+	var ckptHits, ckptCold atomic.Int64
+
 	// Fan the independent runs out across the pool; reports still print
 	// in the order the workloads were given.
 	results := make([]pradram.Result, len(systems))
@@ -158,11 +172,15 @@ func main() {
 			defer func() { <-sem }()
 			prog.Start()
 			defer prog.Done()
-			results[i], errs[i] = systems[i].Run()
+			results[i], errs[i] = runSystem(systems[i], cfgs[i], store, &ckptHits, &ckptCold)
 		}(i)
 	}
 	wg.Wait()
 	stopReporter()
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "(warmup checkpoints: %d restored, %d cold)\n",
+			ckptHits.Load(), ckptCold.Load())
+	}
 
 	for i, res := range results {
 		if errs[i] != nil {
@@ -187,6 +205,34 @@ func main() {
 		}
 		report(os.Stdout, res)
 	}
+}
+
+// runSystem executes one run, restoring a persisted warmup checkpoint
+// (-ckpt-dir) when the store holds a snapshot matching the configuration's
+// warmup fingerprint. System.Restore validates every byte and leaves the
+// system pristine on rejection, so every failure path falls back to the
+// ordinary monolithic run: the store changes wall-clock, never results.
+func runSystem(s *pradram.System, cfg pradram.Config, store *pradram.CheckpointStore, hits, cold *atomic.Int64) (pradram.Result, error) {
+	fp, ok := pradram.WarmupFingerprint(cfg)
+	if store == nil || !ok {
+		return s.Run()
+	}
+	if data, ok := store.Load(fp); ok {
+		if err := s.Restore(data); err == nil {
+			hits.Add(1)
+			return s.Measure()
+		}
+		store.Remove(fp)
+	}
+	cold.Add(1)
+	if err := s.Warmup(); err != nil {
+		return pradram.Result{}, err
+	}
+	if data, err := s.Checkpoint(); err == nil {
+		// A failed store only costs a future re-warmup.
+		_ = store.Store(fp, data)
+	}
+	return s.Measure()
 }
 
 // batchPath inserts the run label before the path's extension when several

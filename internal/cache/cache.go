@@ -26,9 +26,9 @@ import (
 // Backend is the memory side of the hierarchy (the memory controller).
 // Both methods may refuse (queue full); the hierarchy retries every Tick.
 type Backend interface {
-	// Read requests a line fill; done is called with the cycle the data
-	// arrives.
-	Read(addr uint64, done func(at int64)) bool
+	// Read requests a line fill; done.Fn is called with the cycle the data
+	// arrives. The tag lets a checkpointed backend rebind the callback.
+	Read(addr uint64, done core.Done) bool
 	// Write enqueues a dirty-line writeback with its FGD byte mask.
 	Write(addr uint64, dirty core.ByteMask) bool
 }
@@ -184,8 +184,8 @@ func (l *level) invalidate(i int) {
 
 // event is a scheduled completion callback.
 type event struct {
-	at int64
-	fn func(at int64)
+	at   int64
+	done core.Done
 }
 
 // eventQueue is a binary min-heap on at, hand-rolled over the concrete
@@ -239,7 +239,7 @@ func (q *eventQueue) pop() event {
 }
 
 type waiter struct {
-	done      func(at int64)
+	done      core.Done
 	storeMask core.ByteMask // nonzero for stores: applied at fill
 	core      int
 }
@@ -340,20 +340,20 @@ func lineID(addr uint64) uint64 { return addr >> 6 }
 // Load issues a load. Returns false when the core's MSHRs are exhausted
 // (the core must retry next cycle). done is called with the completion
 // cycle exactly once.
-func (h *Hierarchy) Load(coreID int, addr uint64, now int64, done func(at int64)) bool {
+func (h *Hierarchy) Load(coreID int, addr uint64, now int64, done core.Done) bool {
 	return h.access(coreID, addr, now, 0, done)
 }
 
 // Store issues a store of the given dirty byte mask (write-allocate).
 // Returns false when the core's MSHRs are exhausted.
-func (h *Hierarchy) Store(coreID int, addr uint64, mask core.ByteMask, now int64, done func(at int64)) bool {
+func (h *Hierarchy) Store(coreID int, addr uint64, mask core.ByteMask, now int64, done core.Done) bool {
 	if mask == 0 {
 		mask = core.StoreBytes(int(addr&63), 1)
 	}
 	return h.access(coreID, addr, now, mask, done)
 }
 
-func (h *Hierarchy) access(coreID int, addr uint64, now int64, storeMask core.ByteMask, done func(at int64)) bool {
+func (h *Hierarchy) access(coreID int, addr uint64, now int64, storeMask core.ByteMask, done core.Done) bool {
 	id := lineID(addr)
 	isStore := storeMask != 0
 	if isStore {
@@ -422,9 +422,16 @@ func (h *Hierarchy) allocMiss() *missEntry {
 	return e
 }
 
+// fillDone builds the tagged completion the backend holds for e's fill.
+// The line id is the checkpoint identity: an MSHR entry is the unique
+// in-flight miss for its line, so (DoneFill, id) rebinds unambiguously.
+func (h *Hierarchy) fillDone(e *missEntry) core.Done {
+	return core.Done{Fn: e.onFill, Tag: core.DoneTag{Kind: core.DoneFill, Serial: e.id}}
+}
+
 func (h *Hierarchy) issueFill(e *missEntry) {
 	addr := e.id << 6
-	ok := h.mem.Read(addr, e.onFill)
+	ok := h.mem.Read(addr, h.fillDone(e))
 	if !ok {
 		h.retryFills = append(h.retryFills, e)
 		return
@@ -451,7 +458,7 @@ func (h *Hierarchy) fill(e *missEntry, at int64) {
 		h.fillL1(w.core, e.id, w.storeMask)
 	}
 	for _, w := range e.waiters {
-		w.done(at)
+		w.done.Fn(at)
 	}
 	// Recycle: the backend calls onFill exactly once, so the entry is dead
 	// here. Clearing waiter slots drops callback references for the GC;
@@ -638,8 +645,8 @@ func (h *Hierarchy) dbiSweepKey(k uint64) {
 
 // --- event processing ---
 
-func (h *Hierarchy) schedule(at int64, fn func(at int64)) {
-	h.events.push(event{at: at, fn: fn})
+func (h *Hierarchy) schedule(at int64, done core.Done) {
+	h.events.push(event{at: at, done: done})
 }
 
 // Tick delivers due completions and retries refused backend operations.
@@ -648,13 +655,13 @@ func (h *Hierarchy) Tick(now int64) {
 	h.now = now
 	for len(h.events) > 0 && h.events[0].at <= now {
 		e := h.events.pop()
-		e.fn(e.at)
+		e.done.Fn(e.at)
 	}
 	if len(h.retryFills) > 0 {
 		keep := h.retryFills[:0]
 		for _, e := range h.retryFills {
 			addr := e.id << 6
-			if h.mem.Read(addr, func(at int64) { h.fill(e, at) }) {
+			if h.mem.Read(addr, h.fillDone(e)) {
 				e.issued = true
 			} else {
 				keep = append(keep, e)

@@ -9,7 +9,7 @@ import (
 // nullMem accepts everything and completes fills immediately.
 type nullMem struct{}
 
-func (nullMem) Read(addr uint64, done func(at int64)) bool { done(0); return true }
+func (nullMem) Read(addr uint64, done core.Done) bool { done.Fn(0); return true }
 func (nullMem) Write(addr uint64, mask core.ByteMask) bool { return true }
 
 func BenchmarkL1HitLoad(b *testing.B) {
@@ -17,11 +17,11 @@ func BenchmarkL1HitLoad(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	h.Load(0, 0x1000, 0, func(int64) {})
+	h.Load(0, 0x1000, 0, core.Untagged(func(int64) {}))
 	sink := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		h.Load(0, 0x1000, int64(i), func(int64) { sink++ })
+		h.Load(0, 0x1000, int64(i), core.Untagged(func(int64) { sink++ }))
 		h.Tick(int64(i) + 3)
 	}
 	_ = sink
@@ -44,9 +44,9 @@ func BenchmarkRandomAccessMix(b *testing.B) {
 		addr := (next() % (1 << 28)) &^ 63
 		coreID := int(next() % 4)
 		if next()%4 == 0 {
-			h.Store(coreID, addr, core.StoreBytes(int(next()%8)*8, 8), int64(i), func(int64) {})
+			h.Store(coreID, addr, core.StoreBytes(int(next()%8)*8, 8), int64(i), core.Untagged(func(int64) {}))
 		} else {
-			h.Load(coreID, addr, int64(i), func(int64) {})
+			h.Load(coreID, addr, int64(i), core.Untagged(func(int64) {}))
 		}
 		if i%16 == 0 {
 			h.Tick(int64(i) + 25)

@@ -21,12 +21,12 @@ type fakeMem struct {
 
 func newFakeMem() *fakeMem { return &fakeMem{acceptRead: true, acceptWrite: true} }
 
-func (m *fakeMem) Read(addr uint64, done func(at int64)) bool {
+func (m *fakeMem) Read(addr uint64, done core.Done) bool {
 	if !m.acceptRead {
 		return false
 	}
 	m.reads = append(m.reads, addr)
-	m.fills = append(m.fills, done)
+	m.fills = append(m.fills, done.Fn)
 	return true
 }
 
@@ -100,7 +100,7 @@ func TestConfigValidate(t *testing.T) {
 func TestL1HitLatency(t *testing.T) {
 	h, mem := newTestHierarchy(t, smallConfig())
 	var doneAt int64 = -1
-	if !h.Load(0, 0x1000, 0, func(at int64) { doneAt = at }) {
+	if !h.Load(0, 0x1000, 0, core.Untagged(func(at int64) { doneAt = at })) {
 		t.Fatal("load refused")
 	}
 	mem.fillAll(30)
@@ -109,7 +109,7 @@ func TestL1HitLatency(t *testing.T) {
 	}
 	// Second load hits L1 after L1Lat.
 	doneAt = -1
-	if !h.Load(0, 0x1000, 100, func(at int64) { doneAt = at }) {
+	if !h.Load(0, 0x1000, 100, core.Untagged(func(at int64) { doneAt = at })) {
 		t.Fatal("load refused")
 	}
 	h.Tick(100 + h.cfg.L1Lat)
@@ -123,11 +123,11 @@ func TestL1HitLatency(t *testing.T) {
 
 func TestL2HitFromOtherCore(t *testing.T) {
 	h, mem := newTestHierarchy(t, smallConfig())
-	h.Load(0, 0x2000, 0, func(int64) {})
+	h.Load(0, 0x2000, 0, core.Untagged(func(int64) {}))
 	mem.fillAll(30)
 	// Core 1 misses L1 but hits the shared L2.
 	var doneAt int64 = -1
-	h.Load(1, 0x2000, 50, func(at int64) { doneAt = at })
+	h.Load(1, 0x2000, 50, core.Untagged(func(at int64) { doneAt = at }))
 	want := 50 + h.cfg.L1Lat + h.cfg.L2Lat
 	h.Tick(want)
 	if doneAt != want {
@@ -144,8 +144,8 @@ func TestL2HitFromOtherCore(t *testing.T) {
 func TestMSHRMerging(t *testing.T) {
 	h, mem := newTestHierarchy(t, smallConfig())
 	done := 0
-	h.Load(0, 0x3000, 0, func(int64) { done++ })
-	h.Load(1, 0x3000, 1, func(int64) { done++ })
+	h.Load(0, 0x3000, 0, core.Untagged(func(int64) { done++ }))
+	h.Load(1, 0x3000, 1, core.Untagged(func(int64) { done++ }))
 	if len(mem.reads) != 1 {
 		t.Fatalf("merged misses issued %d reads, want 1", len(mem.reads))
 	}
@@ -159,14 +159,14 @@ func TestMSHRLimit(t *testing.T) {
 	cfg := smallConfig()
 	cfg.MSHRs = 2
 	h, _ := newTestHierarchy(t, cfg)
-	if !h.Load(0, 0x0000, 0, func(int64) {}) || !h.Load(0, 0x4000, 0, func(int64) {}) {
+	if !h.Load(0, 0x0000, 0, core.Untagged(func(int64) {})) || !h.Load(0, 0x4000, 0, core.Untagged(func(int64) {})) {
 		t.Fatal("first two misses must be accepted")
 	}
-	if h.Load(0, 0x8000, 0, func(int64) {}) {
+	if h.Load(0, 0x8000, 0, core.Untagged(func(int64) {})) {
 		t.Error("third miss must be refused (MSHRs full)")
 	}
 	// Another core has its own budget.
-	if !h.Load(1, 0x8000, 0, func(int64) {}) {
+	if !h.Load(1, 0x8000, 0, core.Untagged(func(int64) {})) {
 		t.Error("other core's miss must be accepted")
 	}
 	// Stats must not double-count the refused access.
@@ -178,14 +178,14 @@ func TestMSHRLimit(t *testing.T) {
 func TestStoreDirtyPropagation(t *testing.T) {
 	h, mem := newTestHierarchy(t, smallConfig())
 	mask := core.StoreBytes(8, 8) // word 1
-	h.Store(0, 0x5000, mask, 0, func(int64) {})
+	h.Store(0, 0x5000, mask, 0, core.Untagged(func(int64) {}))
 	mem.fillAll(30)
 	ln := h.l1[0].lookup(lineID(0x5000), false)
 	if ln == nil || ln.dirty != mask {
 		t.Fatal("store must dirty the L1 line with its byte mask")
 	}
 	// A second store widens the mask.
-	h.Store(0, 0x5000+16, core.StoreBytes(16, 4), 50, func(int64) {})
+	h.Store(0, 0x5000+16, core.StoreBytes(16, 4), 50, core.Untagged(func(int64) {}))
 	if ln.dirty != mask|core.StoreBytes(16, 4) {
 		t.Error("second store must OR into the dirty mask")
 	}
@@ -193,7 +193,7 @@ func TestStoreDirtyPropagation(t *testing.T) {
 
 func TestStoreZeroMaskDefaultsToOneByte(t *testing.T) {
 	h, mem := newTestHierarchy(t, smallConfig())
-	h.Store(0, 0x7008, 0, 0, func(int64) {})
+	h.Store(0, 0x7008, 0, 0, core.Untagged(func(int64) {}))
 	mem.fillAll(10)
 	ln := h.l1[0].lookup(lineID(0x7008), false)
 	if ln == nil || ln.dirty.DirtyBytes() != 1 {
@@ -209,13 +209,13 @@ func TestL1EvictionMergesFGDIntoL2(t *testing.T) {
 	h, mem := newTestHierarchy(t, cfg)
 	// Three lines in the same L1 set (stride = sets*64 = 256B).
 	m1 := core.StoreBytes(0, 8)
-	h.Store(0, 0x0000, m1, 0, func(int64) {})
-	h.Load(0, 0x0100, 1, func(int64) {})
-	h.Load(0, 0x0200, 2, func(int64) {}) // evicts 0x0000 from L1
+	h.Store(0, 0x0000, m1, 0, core.Untagged(func(int64) {}))
+	h.Load(0, 0x0100, 1, core.Untagged(func(int64) {}))
+	h.Load(0, 0x0200, 2, core.Untagged(func(int64) {})) // evicts 0x0000 from L1
 	mem.fillAll(30)
 	// L1 installs happen at fill; the dirty line is evicted during one of
 	// them. Its mask must now be in L2.
-	h.Load(0, 0x0300, 40, func(int64) {})
+	h.Load(0, 0x0300, 40, core.Untagged(func(int64) {}))
 	mem.fillAll(80)
 	l2ln := h.l2.lookup(lineID(0x0000), false)
 	if l2ln == nil {
@@ -233,13 +233,13 @@ func TestL2DirtyEvictionWritesBack(t *testing.T) {
 	h, mem := newTestHierarchy(t, cfg)
 	stride := uint64(cfg.L2Sets * 64)
 	m := core.StoreBytes(0, 16) // words 0,1
-	h.Store(0, 0, m, 0, func(int64) {})
+	h.Store(0, 0, m, 0, core.Untagged(func(int64) {}))
 	mem.fillAll(10)
 	// Fill the same L2 set with two more lines (same L1 set too, but L1
 	// merge path is exercised by the earlier test).
-	h.Load(0, stride, 20, func(int64) {})
+	h.Load(0, stride, 20, core.Untagged(func(int64) {}))
 	mem.fillAll(30)
-	h.Load(0, 2*stride, 40, func(int64) {})
+	h.Load(0, 2*stride, 40, core.Untagged(func(int64) {}))
 	mem.fillAll(50) // evicts line 0 from L2
 	if len(mem.writes) != 1 {
 		t.Fatalf("writebacks = %d, want 1", len(mem.writes))
@@ -265,11 +265,11 @@ func TestL2EvictionInvalidatesAndMergesL1(t *testing.T) {
 	h, mem := newTestHierarchy(t, cfg)
 	stride := uint64(cfg.L2Sets * 64)
 	m := core.StoreBytes(24, 8) // word 3
-	h.Store(0, 0, m, 0, func(int64) {})
+	h.Store(0, 0, m, 0, core.Untagged(func(int64) {}))
 	mem.fillAll(10)
-	h.Load(1, stride, 20, func(int64) {})
+	h.Load(1, stride, 20, core.Untagged(func(int64) {}))
 	mem.fillAll(30)
-	h.Load(1, 2*stride, 40, func(int64) {})
+	h.Load(1, 2*stride, 40, core.Untagged(func(int64) {}))
 	mem.fillAll(50) // evicts line 0 from L2 while core 0's L1 still has it dirty
 	if ln := h.l1[0].lookup(0, false); ln != nil {
 		t.Error("L1 copy must be invalidated on L2 eviction")
@@ -283,7 +283,7 @@ func TestBackendRefusalRetried(t *testing.T) {
 	h, mem := newTestHierarchy(t, smallConfig())
 	mem.acceptRead = false
 	done := false
-	h.Load(0, 0x9000, 0, func(int64) { done = true })
+	h.Load(0, 0x9000, 0, core.Untagged(func(int64) { done = true }))
 	if len(mem.reads) != 0 {
 		t.Fatal("read must have been refused")
 	}
@@ -306,12 +306,12 @@ func TestWritebackRefusalRetried(t *testing.T) {
 	cfg := smallConfig()
 	h, mem := newTestHierarchy(t, cfg)
 	stride := uint64(cfg.L2Sets * 64)
-	h.Store(0, 0, core.StoreBytes(0, 8), 0, func(int64) {})
+	h.Store(0, 0, core.StoreBytes(0, 8), 0, core.Untagged(func(int64) {}))
 	mem.fillAll(10)
 	mem.acceptWrite = false
-	h.Load(0, stride, 20, func(int64) {})
+	h.Load(0, stride, 20, core.Untagged(func(int64) {}))
 	mem.fillAll(30)
-	h.Load(0, 2*stride, 40, func(int64) {})
+	h.Load(0, 2*stride, 40, core.Untagged(func(int64) {}))
 	mem.fillAll(50)
 	if len(mem.writes) != 0 {
 		t.Fatal("write must have been refused")
@@ -333,14 +333,14 @@ func TestDBISweep(t *testing.T) {
 	cfg.RowKey = func(addr uint64) uint64 { return addr >> 13 }
 	h, mem := newTestHierarchy(t, cfg)
 	// Dirty two lines of the same DRAM row that live in different L2 sets.
-	h.Store(0, 0x0000, core.StoreBytes(0, 8), 0, func(int64) {})
-	h.Store(0, 0x0040, core.StoreBytes(0, 8), 1, func(int64) {})
+	h.Store(0, 0x0000, core.StoreBytes(0, 8), 0, core.Untagged(func(int64) {}))
+	h.Store(0, 0x0040, core.StoreBytes(0, 8), 1, core.Untagged(func(int64) {}))
 	mem.fillAll(10)
 	// Evict line 0 from L2 by filling its set.
 	stride := uint64(cfg.L2Sets * 64)
-	h.Load(0, stride, 20, func(int64) {})
+	h.Load(0, stride, 20, core.Untagged(func(int64) {}))
 	mem.fillAll(30)
-	h.Load(0, 2*stride, 40, func(int64) {})
+	h.Load(0, 2*stride, 40, core.Untagged(func(int64) {}))
 	mem.fillAll(50)
 	// Both the evicted line and its row-mate must be written back.
 	if len(mem.writes) != 2 {
@@ -358,8 +358,8 @@ func TestDBISweep(t *testing.T) {
 
 func TestFlushDirty(t *testing.T) {
 	h, mem := newTestHierarchy(t, smallConfig())
-	h.Store(0, 0x100, core.StoreBytes(0, 8), 0, func(int64) {})
-	h.Store(1, 0x200, core.StoreBytes(8, 8), 0, func(int64) {})
+	h.Store(0, 0x100, core.StoreBytes(0, 8), 0, core.Untagged(func(int64) {}))
+	h.Store(1, 0x200, core.StoreBytes(8, 8), 0, core.Untagged(func(int64) {}))
 	mem.fillAll(10)
 	h.FlushDirty()
 	if len(mem.writes) != 2 {
@@ -394,7 +394,7 @@ func TestDrainReflectsState(t *testing.T) {
 	if h.Drain() {
 		t.Error("fresh hierarchy must be drained")
 	}
-	h.Load(0, 0xA000, 0, func(int64) {})
+	h.Load(0, 0xA000, 0, core.Untagged(func(int64) {}))
 	if !h.Drain() {
 		t.Error("outstanding miss must report undrained")
 	}

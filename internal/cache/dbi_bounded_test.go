@@ -15,13 +15,13 @@ func TestBoundedDBIEvicts(t *testing.T) {
 	// Dirty lines in three distinct DRAM rows (offset into distinct cache
 	// sets so no natural L2 eviction interferes): inserting the third row
 	// entry must evict the oldest and force-write-back its dirty block.
-	h.Store(0, 0*8192+0*64, core.StoreBytes(0, 8), 0, func(int64) {})
-	h.Store(0, 1*8192+1*64, core.StoreBytes(0, 8), 1, func(int64) {})
+	h.Store(0, 0*8192+0*64, core.StoreBytes(0, 8), 0, core.Untagged(func(int64) {}))
+	h.Store(0, 1*8192+1*64, core.StoreBytes(0, 8), 1, core.Untagged(func(int64) {}))
 	mem.fillAll(10)
 	if h.Stats.DBIEvictions != 0 {
 		t.Fatal("no eviction before capacity reached")
 	}
-	h.Store(0, 2*8192+2*64, core.StoreBytes(0, 8), 20, func(int64) {})
+	h.Store(0, 2*8192+2*64, core.StoreBytes(0, 8), 20, core.Untagged(func(int64) {}))
 	mem.fillAll(30)
 	if h.Stats.DBIEvictions != 1 {
 		t.Fatalf("DBI evictions = %d, want 1", h.Stats.DBIEvictions)
@@ -44,11 +44,11 @@ func TestBoundedDBILazyDeletion(t *testing.T) {
 	// Mark row 0, then clean it via FlushDirty (entry becomes stale in
 	// the FIFO), then fill two new rows: no spurious eviction of live
 	// entries beyond the one needed.
-	h.Store(0, 0, core.StoreBytes(0, 8), 0, func(int64) {})
+	h.Store(0, 0, core.StoreBytes(0, 8), 0, core.Untagged(func(int64) {}))
 	mem.fillAll(5)
 	h.FlushDirty() // row 0 cleaned, dbi entry removed, FIFO key stale
-	h.Store(0, 1*8192, core.StoreBytes(0, 8), 10, func(int64) {})
-	h.Store(0, 2*8192, core.StoreBytes(0, 8), 11, func(int64) {})
+	h.Store(0, 1*8192, core.StoreBytes(0, 8), 10, core.Untagged(func(int64) {}))
+	h.Store(0, 2*8192, core.StoreBytes(0, 8), 11, core.Untagged(func(int64) {}))
 	mem.fillAll(20)
 	if h.Stats.DBIEvictions != 0 {
 		t.Errorf("stale FIFO entries must not trigger evictions, got %d", h.Stats.DBIEvictions)

@@ -8,7 +8,7 @@ import (
 
 func TestResetStatsKeepsContents(t *testing.T) {
 	h, mem := newTestHierarchy(t, smallConfig())
-	h.Store(0, 0x100, core.StoreBytes(0, 8), 0, func(int64) {})
+	h.Store(0, 0x100, core.StoreBytes(0, 8), 0, core.Untagged(func(int64) {}))
 	mem.fillAll(10)
 	if h.Stats.Stores != 1 {
 		t.Fatal("store not counted")
@@ -22,7 +22,7 @@ func TestResetStatsKeepsContents(t *testing.T) {
 	}
 	// The line (and its dirty bytes) must survive the reset.
 	done := false
-	h.Load(0, 0x100, 20, func(int64) { done = true })
+	h.Load(0, 0x100, 20, core.Untagged(func(int64) { done = true }))
 	h.Tick(20 + h.cfg.L1Lat)
 	if !done {
 		t.Fatal("line must still be resident (L1 hit)")
@@ -36,7 +36,7 @@ func TestDirtyBitsSurviveReset(t *testing.T) {
 	cfg := smallConfig()
 	h, mem := newTestHierarchy(t, cfg)
 	m := core.StoreBytes(0, 8)
-	h.Store(0, 0, m, 0, func(int64) {})
+	h.Store(0, 0, m, 0, core.Untagged(func(int64) {}))
 	mem.fillAll(10)
 	h.ResetStats()
 	h.FlushDirty()

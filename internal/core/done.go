@@ -1,0 +1,45 @@
+package core
+
+// Checkpointing (internal/checkpoint, DESIGN.md §4e) must serialize
+// simulator components that hold in-flight completion callbacks: a cache
+// miss holds the core's wakeup, the memory controller holds the cache's
+// fill. A bare func cannot cross a save/restore boundary, so every
+// completion carries a Tag describing how to re-derive the same func from
+// restored state. The Fn field is authoritative during live simulation;
+// the Tag is only consulted by RestoreState implementations.
+
+// DoneKind says which component owns the completion and how to rebind it.
+type DoneKind uint8
+
+const (
+	// DoneNone marks a completion that never crosses a checkpoint (tests,
+	// replay harnesses). Restoring state that holds one is an error.
+	DoneNone DoneKind = iota
+	// DoneLoad resolves to a cpu.Core ROB entry's load completion,
+	// identified by (Core, per-core dispatch Serial).
+	DoneLoad
+	// DoneStore resolves to a cpu.Core's shared store completion,
+	// identified by Core alone.
+	DoneStore
+	// DoneFill resolves to a cache MSHR entry's fill completion,
+	// identified by the line id in Serial.
+	DoneFill
+)
+
+// DoneTag is the serializable identity of a completion callback.
+type DoneTag struct {
+	Kind   DoneKind
+	Core   int32
+	Serial uint64
+}
+
+// Done is a completion callback plus its serializable identity. Call
+// Fn(at) to complete; persist Tag across checkpoints and rebind Fn on
+// restore.
+type Done struct {
+	Fn  func(at int64)
+	Tag DoneTag
+}
+
+// Untagged wraps a bare callback that will never be checkpointed.
+func Untagged(fn func(at int64)) Done { return Done{Fn: fn} }

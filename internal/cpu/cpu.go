@@ -44,9 +44,11 @@ type Generator interface {
 
 // MemPort is the cache hierarchy interface a core issues to. Both methods
 // may refuse admission (MSHRs full); the core retries next cycle.
+// Completions are tagged (core.Done) so components holding them can be
+// checkpointed and the callbacks rebound on restore.
 type MemPort interface {
-	Load(coreID int, addr uint64, now int64, done func(at int64)) bool
-	Store(coreID int, addr uint64, mask core.ByteMask, now int64, done func(at int64)) bool
+	Load(coreID int, addr uint64, now int64, done core.Done) bool
+	Store(coreID int, addr uint64, mask core.ByteMask, now int64, done core.Done) bool
 }
 
 // Config sizes one core.
@@ -72,6 +74,10 @@ type robEntry struct {
 	done       bool
 	retiredOut bool      // left the ROB while still the dependence anchor
 	next       *robEntry // freelist link while recycled
+	// serial is the per-core dispatch serial of the in-flight load bound
+	// to this entry; it is the checkpoint identity (core.DoneLoad tag) of
+	// the completion the hierarchy holds for it.
+	serial uint64
 	// onDone is the completion callback bound to this entry for its whole
 	// pooled lifetime — entries recycle through the freelist, so the
 	// closure is allocated once per physical entry, not once per load.
@@ -96,6 +102,11 @@ type Core struct {
 	ldqUsed  int
 	stqUsed  int
 	lastLoad *robEntry // most recently dispatched load (for Dep)
+
+	// loadSerial numbers load dispatches; each accepted load's ROB entry
+	// records the serial it was issued under, giving every in-flight load
+	// completion a stable identity across checkpoint save/restore.
+	loadSerial uint64
 
 	pending    Op // a fetched but not yet dispatched op
 	hasPending bool
@@ -272,10 +283,13 @@ func (c *Core) dispatch(now int64) int {
 				e.next, c.free = c.free, e
 				return n
 			}
-			if !c.mem.Load(c.ID, op.Addr, now, e.onDone) {
+			e.serial = c.loadSerial
+			done := core.Done{Fn: e.onDone, Tag: core.DoneTag{Kind: core.DoneLoad, Core: int32(c.ID), Serial: e.serial}}
+			if !c.mem.Load(c.ID, op.Addr, now, done) {
 				e.next, c.free = c.free, e
 				return n // hierarchy refused; retry next cycle
 			}
+			c.loadSerial++
 			c.ldqUsed++
 			c.push(e)
 			if old := c.lastLoad; old != nil && old.retiredOut {
@@ -289,7 +303,8 @@ func (c *Core) dispatch(now int64) int {
 			if c.stqUsed >= c.cfg.STQ {
 				return n
 			}
-			if !c.mem.Store(c.ID, op.Addr, op.Bytes, now, c.storeDone) {
+			done := core.Done{Fn: c.storeDone, Tag: core.DoneTag{Kind: core.DoneStore, Core: int32(c.ID)}}
+			if !c.mem.Store(c.ID, op.Addr, op.Bytes, now, done) {
 				return n
 			}
 			c.stqUsed++
@@ -303,3 +318,6 @@ func (c *Core) dispatch(now int64) int {
 	}
 	return n
 }
+
+// Generator exposes the core's instruction generator (for checkpointing).
+func (c *Core) Generator() Generator { return c.gen }

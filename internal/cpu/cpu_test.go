@@ -32,21 +32,21 @@ type fakeMem struct {
 	stores       int
 }
 
-func (m *fakeMem) Load(coreID int, addr uint64, now int64, done func(at int64)) bool {
+func (m *fakeMem) Load(coreID int, addr uint64, now int64, done core.Done) bool {
 	if m.refuseLoads {
 		return false
 	}
 	m.loads++
-	m.loadDone = append(m.loadDone, done)
+	m.loadDone = append(m.loadDone, done.Fn)
 	return true
 }
 
-func (m *fakeMem) Store(coreID int, addr uint64, mask core.ByteMask, now int64, done func(at int64)) bool {
+func (m *fakeMem) Store(coreID int, addr uint64, mask core.ByteMask, now int64, done core.Done) bool {
 	if m.refuseStores {
 		return false
 	}
 	m.stores++
-	done(now)
+	done.Fn(now)
 	return true
 }
 
@@ -198,7 +198,7 @@ type stqFake struct {
 	stores int
 }
 
-func (m *stqFake) Store(coreID int, addr uint64, mask core.ByteMask, now int64, done func(at int64)) bool {
+func (m *stqFake) Store(coreID int, addr uint64, mask core.ByteMask, now int64, done core.Done) bool {
 	m.stores++
 	return true
 }

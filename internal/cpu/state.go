@@ -1,0 +1,199 @@
+package cpu
+
+import (
+	"pradram/internal/checkpoint"
+	"pradram/internal/core"
+)
+
+// Checkpointing (DESIGN.md §4e). The core's dynamic state is the ROB ring
+// (entry completion flags and load serials), the queue occupancy counters,
+// the pre-fetched pending op, and the retirement statistics. The ROB is
+// canonicalized to start at index 0 on save so two identical pipeline
+// states produce identical bytes regardless of how the ring happened to be
+// rotated. Completion callbacks held by the cache hierarchy are not saved
+// here — they are tagged (core.DoneTag) and rebound through the resolver
+// RestoreState returns.
+
+// lastLoad encodings beyond ring offsets (see SaveState).
+const (
+	lastLoadNil    = -2 // no dependence anchor
+	lastLoadAnchor = -1 // anchor retired out of the ROB but still live
+)
+
+// SaveState appends the core's dynamic state.
+func (c *Core) SaveState(w *checkpoint.Writer) {
+	w.Int(c.count)
+	for i := 0; i < c.count; i++ {
+		e := c.rob[(c.head+i)%c.cfg.ROB]
+		w.Bool(e.done)
+		w.U64(e.serial)
+	}
+	// The dependence anchor is either nil, an entry inside the ring
+	// (encoded as its offset from head), or an entry that retired out.
+	last := int64(lastLoadNil)
+	if c.lastLoad != nil {
+		if c.lastLoad.retiredOut {
+			last = lastLoadAnchor
+		} else {
+			last = lastLoadNil
+			for i := 0; i < c.count; i++ {
+				if c.rob[(c.head+i)%c.cfg.ROB] == c.lastLoad {
+					last = int64(i)
+					break
+				}
+			}
+		}
+	}
+	w.I64(last)
+	if last == lastLoadAnchor {
+		w.Bool(c.lastLoad.done)
+		w.U64(c.lastLoad.serial)
+	}
+	w.Int(c.ldqUsed)
+	w.Int(c.stqUsed)
+	w.U64(c.loadSerial)
+	w.Bool(c.hasPending)
+	if c.hasPending {
+		w.U8(uint8(c.pending.Kind))
+		w.U64(c.pending.Addr)
+		w.U64(uint64(c.pending.Bytes))
+		w.Bool(c.pending.Dep)
+	}
+	w.Bool(c.idle)
+	w.I64(c.Retired)
+	w.I64(c.Cycles)
+	w.I64(c.Loads)
+	w.I64(c.Stores)
+	w.I64(c.ComputeOps)
+}
+
+// RestoreState decodes a SaveState payload. It returns a commit that
+// installs the state (head canonicalized to 0) and a resolver mapping the
+// completion tags the hierarchy holds for this core — in-flight load
+// serials and the shared store completion — back to callbacks bound to
+// the restored entries. The resolver is valid immediately (it closes over
+// the decoded entries); the commit must still run for those entries to
+// become the live ROB. On error the core is untouched.
+func (c *Core) RestoreState(r *checkpoint.Reader) (func(), func(tag core.DoneTag) (core.Done, bool), error) {
+	count := r.Int()
+	if count < 0 || count > c.cfg.ROB {
+		r.Fail("cpu %d: ROB count %d of %d", c.ID, count, c.cfg.ROB)
+		count = 0
+	}
+	entries := make([]*robEntry, count)
+	slab := make([]robEntry, count)
+	for i := range entries {
+		e := &slab[i]
+		e.onDone = func(int64) {
+			e.done = true
+			c.ldqUsed--
+			c.idle = false
+		}
+		e.done = r.Bool()
+		e.serial = r.U64()
+		entries[i] = e
+	}
+	last := r.I64()
+	var anchor *robEntry
+	switch {
+	case last == lastLoadNil:
+	case last == lastLoadAnchor:
+		anchor = &robEntry{retiredOut: true}
+		anchor.onDone = func(int64) {
+			anchor.done = true
+			c.ldqUsed--
+			c.idle = false
+		}
+		anchor.done = r.Bool()
+		anchor.serial = r.U64()
+	case last >= 0 && last < int64(count):
+	default:
+		r.Fail("cpu %d: lastLoad code %d with %d entries", c.ID, last, count)
+	}
+	ldqUsed := r.Int()
+	stqUsed := r.Int()
+	loadSerial := r.U64()
+	hasPending := r.Bool()
+	var pending Op
+	if hasPending {
+		pending = Op{
+			Kind:  OpKind(r.U8()),
+			Addr:  r.U64(),
+			Bytes: core.ByteMask(r.U64()),
+			Dep:   r.Bool(),
+		}
+	}
+	idle := r.Bool()
+	retired := r.I64()
+	cycles := r.I64()
+	loads := r.I64()
+	stores := r.I64()
+	computeOps := r.I64()
+	if ldqUsed < 0 || ldqUsed > c.cfg.LDQ || stqUsed < 0 || stqUsed > c.cfg.STQ {
+		r.Fail("cpu %d: queue occupancy LDQ=%d STQ=%d", c.ID, ldqUsed, stqUsed)
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	resolve := func(tag core.DoneTag) (core.Done, bool) {
+		switch tag.Kind {
+		case core.DoneStore:
+			return core.Done{Fn: c.storeDone, Tag: tag}, true
+		case core.DoneLoad:
+			// Serials are unique among in-flight loads (assigned at
+			// dispatch, and an entry only recycles after completion), so
+			// a linear scan is unambiguous.
+			for _, e := range entries {
+				if !e.done && e.serial == tag.Serial {
+					return core.Done{Fn: e.onDone, Tag: tag}, true
+				}
+			}
+			if anchor != nil && !anchor.done && anchor.serial == tag.Serial {
+				return core.Done{Fn: anchor.onDone, Tag: tag}, true
+			}
+		}
+		return core.Done{}, false
+	}
+
+	commit := func() {
+		// Rebuild the ring canonicalized at head 0 and reseed the
+		// freelist with fresh spares (old entries are garbage once the
+		// hierarchy's rebound callbacks replace theirs).
+		c.rob = make([]*robEntry, c.cfg.ROB)
+		copy(c.rob, entries)
+		c.head = 0
+		c.tail = count % c.cfg.ROB
+		c.count = count
+		c.free = nil
+		spare := make([]robEntry, c.cfg.ROB+1-count)
+		for i := range spare {
+			e := &spare[i]
+			e.onDone = func(int64) {
+				e.done = true
+				c.ldqUsed--
+				c.idle = false
+			}
+			e.next = c.free
+			c.free = e
+		}
+		c.lastLoad = nil
+		if last == lastLoadAnchor {
+			c.lastLoad = anchor
+		} else if last >= 0 {
+			c.lastLoad = entries[last]
+		}
+		c.ldqUsed = ldqUsed
+		c.stqUsed = stqUsed
+		c.loadSerial = loadSerial
+		c.pending = pending
+		c.hasPending = hasPending
+		c.idle = idle
+		c.Retired = retired
+		c.Cycles = cycles
+		c.Loads = loads
+		c.Stores = stores
+		c.ComputeOps = computeOps
+	}
+	return commit, resolve, nil
+}

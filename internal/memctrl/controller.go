@@ -118,8 +118,8 @@ type request struct {
 	rowKey    uint64
 	byteMask  core.ByteMask // writes: FGD dirty bytes
 	wordMask  core.Mask     // cached projection of byteMask (FullMask for reads)
-	arrive    int64         // memory cycle
-	done      func(cpuCycle int64)
+	arrive    int64     // memory cycle
+	done      core.Done // reads: completion, invoked with the CPU cycle
 	activated bool // an ACT was issued on this request's behalf
 	falseHit  bool
 	nextFree  *request // freelist link while recycled
@@ -324,9 +324,9 @@ func (c *Controller) Mapper() *AddressMapper { return c.am }
 // RowKey identifies the DRAM row of an address (cache.Config.RowKey).
 func (c *Controller) RowKey(addr uint64) uint64 { return c.am.RowKey(addr) }
 
-// Read enqueues a line fill. done receives the CPU cycle the data arrives.
-// Returns false when the channel's read queue is full.
-func (c *Controller) Read(addr uint64, done func(at int64)) bool {
+// Read enqueues a line fill. done.Fn receives the CPU cycle the data
+// arrives. Returns false when the channel's read queue is full.
+func (c *Controller) Read(addr uint64, done core.Done) bool {
 	l := c.am.Decompose(addr)
 	cc := c.chans[l.Channel]
 	if len(cc.readQ) >= c.cfg.ReadQ {
@@ -569,7 +569,7 @@ func (cc *chanCtl) tick(mem int64) {
 			cc.stats.ReadsServed++
 			cc.stats.RowHitRead++ // served without any DRAM activity
 			cc.stats.ReadLatencySum += mem - f.arrive
-			f.done(mem * cc.cfg.CPUPerMem)
+			f.done.Fn(mem * cc.cfg.CPUPerMem)
 			cc.forwards[i] = nil
 			cc.releaseReq(f)
 		}
@@ -788,7 +788,7 @@ func (cc *chanCtl) issueColumn(mem int64, q *[]*request, i int, req *request, ma
 		}
 		cc.finishColumn(q, i, req, autoPre)
 		cc.stats.ReadLatencySum += done - req.arrive
-		req.done(done * cc.cfg.CPUPerMem)
+		req.done.Fn(done * cc.cfg.CPUPerMem)
 	} else {
 		if at := cc.ch.WriteReadyAt(mem, l.Rank, l.Bank, burst); at > mem {
 			cc.noteReady(at)

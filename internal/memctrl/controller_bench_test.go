@@ -28,7 +28,7 @@ func benchTraffic(b *testing.B, scheme Scheme) {
 		if outstanding < 48 {
 			addr := (next() % (4 << 30)) &^ 63
 			if next()%2 == 0 {
-				if c.Read(addr, func(int64) { outstanding-- }) {
+				if c.Read(addr, core.Untagged(func(int64) { outstanding-- })) {
 					outstanding++
 				}
 			} else {

@@ -71,7 +71,7 @@ func TestSingleReadLatency(t *testing.T) {
 	t.Parallel()
 	c := newCtl(t, nil)
 	var doneAt int64 = -1
-	if !c.Read(0x1000, func(at int64) { doneAt = at }) {
+	if !c.Read(0x1000, core.Untagged(func(at int64) { doneAt = at })) {
 		t.Fatal("read rejected")
 	}
 	runUntil(t, c, 0, 10000, func() bool { return doneAt >= 0 })
@@ -92,7 +92,7 @@ func TestRowHitsAndCap(t *testing.T) {
 	done := 0
 	for col := 0; col < 8; col++ {
 		addr := addrAt(c, Loc{Row: 5, Col: col})
-		if !c.Read(addr, func(int64) { done++ }) {
+		if !c.Read(addr, core.Untagged(func(int64) { done++ })) {
 			t.Fatal("read rejected")
 		}
 	}
@@ -162,7 +162,7 @@ func TestQueuedReadForcesFullActivation(t *testing.T) {
 	c := newCtl(t, func(cfg *Config) { cfg.Scheme = PRA })
 	c.Write(addrAt(c, Loc{Row: 9, Col: 0}), core.StoreBytes(0, 8))
 	done := false
-	c.Read(addrAt(c, Loc{Row: 9, Col: 1}), func(int64) { done = true })
+	c.Read(addrAt(c, Loc{Row: 9, Col: 1}), core.Untagged(func(int64) { done = true }))
 	runUntil(t, c, 0, 100000, func() bool { return done && c.Stats().WritesServed == 1 })
 	d := c.DeviceStats()
 	// The read is served first (read priority) with a full ACT; the write
@@ -187,7 +187,7 @@ func TestFalseRowBufferHitOnRead(t *testing.T) {
 	cpu = runUntil(t, c, 0, 100000, func() bool { return c.Stats().WritesServed >= 1 })
 	// The row is now open with a partial mask; a read to it false-hits.
 	done := false
-	c.Read(addrAt(c, Loc{Row: 9, Col: 7}), func(int64) { done = true })
+	c.Read(addrAt(c, Loc{Row: 9, Col: 7}), core.Untagged(func(int64) { done = true }))
 	runUntil(t, c, cpu+1, 200000, func() bool { return done })
 	if got := c.Stats().FalseHitRead; got != 1 {
 		t.Errorf("false read hits = %d, want 1", got)
@@ -215,7 +215,7 @@ func TestWriteForwarding(t *testing.T) {
 	addr := addrAt(c, Loc{Row: 3})
 	c.Write(addr, core.FullByteMask)
 	done := false
-	c.Read(addr, func(int64) { done = true })
+	c.Read(addr, core.Untagged(func(int64) { done = true }))
 	runUntil(t, c, 0, 1000, func() bool { return done })
 	if c.Stats().Forwarded != 1 {
 		t.Errorf("forwarded = %d, want 1", c.Stats().Forwarded)
@@ -244,7 +244,7 @@ func TestReadQueueLimit(t *testing.T) {
 	accepted := 0
 	for i := 0; i < 8; i++ {
 		// All to channel 0, distinct rows.
-		if c.Read(addrAt(c, Loc{Row: i}), func(int64) {}) {
+		if c.Read(addrAt(c, Loc{Row: i}), core.Untagged(func(int64) {})) {
 			accepted++
 		}
 	}
@@ -263,7 +263,7 @@ func TestWriteDrainWatermarks(t *testing.T) {
 	})
 	// Park a stream of reads so writes would otherwise starve.
 	for i := 0; i < 32; i++ {
-		c.Read(addrAt(c, Loc{Row: 100 + i}), func(int64) {})
+		c.Read(addrAt(c, Loc{Row: 100 + i}), core.Untagged(func(int64) {}))
 	}
 	for i := 0; i < 10; i++ {
 		c.Write(addrAt(c, Loc{Row: i, Rank: 1}), core.FullByteMask)
@@ -282,7 +282,7 @@ func TestRestrictedClosePolicyNoHits(t *testing.T) {
 	})
 	done := 0
 	for col := 0; col < 4; col++ {
-		c.Read(addrAt(c, Loc{Row: 5, Col: col}), func(int64) { done++ })
+		c.Read(addrAt(c, Loc{Row: 5, Col: col}), core.Untagged(func(int64) { done++ }))
 	}
 	runUntil(t, c, 0, 200000, func() bool { return done == 4 })
 	s := c.Stats()
@@ -300,7 +300,7 @@ func TestFGAReadSlower(t *testing.T) {
 	latency := func(s Scheme) int64 {
 		c := newCtl(t, func(cfg *Config) { cfg.Scheme = s })
 		var doneAt int64 = -1
-		c.Read(0x4000, func(at int64) { doneAt = at })
+		c.Read(0x4000, core.Untagged(func(at int64) { doneAt = at }))
 		runUntil(t, c, 0, 10000, func() bool { return doneAt >= 0 })
 		return doneAt
 	}
@@ -339,7 +339,7 @@ func TestHalfDRAMUsesLessActEnergy(t *testing.T) {
 	energyFor := func(s Scheme) float64 {
 		c := newCtl(t, func(cfg *Config) { cfg.Scheme = s })
 		done := false
-		c.Read(0x8000, func(int64) { done = true })
+		c.Read(0x8000, core.Untagged(func(int64) { done = true }))
 		runUntil(t, c, 0, 10000, func() bool { return done })
 		return c.Energy()[power.CompActPre]
 	}
@@ -370,7 +370,7 @@ func TestPendingReflectsQueues(t *testing.T) {
 		t.Error("fresh controller must be idle")
 	}
 	done := false
-	c.Read(0x100, func(int64) { done = true })
+	c.Read(0x100, core.Untagged(func(int64) { done = true }))
 	if !c.Pending() {
 		t.Error("queued read must report pending")
 	}
@@ -385,7 +385,7 @@ func TestChannelsSplitTraffic(t *testing.T) {
 	c := newCtl(t, nil)
 	served := 0
 	for i := 0; i < 16; i++ {
-		c.Read(uint64(i)*64, func(int64) { served++ })
+		c.Read(uint64(i)*64, core.Untagged(func(int64) { served++ }))
 	}
 	runUntil(t, c, 0, 100000, func() bool { return served == 16 })
 	// Row-interleaved: even lines channel 0, odd lines channel 1. Both

@@ -66,10 +66,10 @@ func driveRandomTraffic(t *testing.T, cfg Config, seed int64, cycles int64) {
 					acceptedWrites++
 				}
 			} else {
-				if c.Read(addr, func(int64) {
+				if c.Read(addr, core.Untagged(func(int64) {
 					completions++
 					outstanding--
-				}) {
+				})) {
 					acceptedReads++
 					outstanding++
 				}

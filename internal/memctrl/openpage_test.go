@@ -10,7 +10,7 @@ func TestOpenPageKeepsRowsOpen(t *testing.T) {
 	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.Policy = OpenPage })
 	done := false
-	c.Read(addrAt(c, Loc{Row: 5, Col: 0}), func(int64) { done = true })
+	c.Read(addrAt(c, Loc{Row: 5, Col: 0}), core.Untagged(func(int64) { done = true }))
 	runUntil(t, c, 0, 10000, func() bool { return done })
 	// The queue is empty, yet the row stays open (relaxed close would
 	// have closed it).
@@ -23,7 +23,7 @@ func TestOpenPageKeepsRowsOpen(t *testing.T) {
 	}
 	// A late same-row read hits without re-activation.
 	done = false
-	c.Read(addrAt(c, Loc{Row: 5, Col: 1}), func(int64) { done = true })
+	c.Read(addrAt(c, Loc{Row: 5, Col: 1}), core.Untagged(func(int64) { done = true }))
 	runUntil(t, c, cpu, 10000, func() bool { return done })
 	s := c.Stats()
 	if s.RowHitRead != 1 {
@@ -38,10 +38,10 @@ func TestOpenPageConflictCloses(t *testing.T) {
 	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.Policy = OpenPage })
 	done := 0
-	c.Read(addrAt(c, Loc{Row: 5}), func(int64) { done++ })
+	c.Read(addrAt(c, Loc{Row: 5}), core.Untagged(func(int64) { done++ }))
 	runUntil(t, c, 0, 10000, func() bool { return done == 1 })
 	// A conflicting row in the same bank forces PRE + ACT.
-	c.Read(addrAt(c, Loc{Row: 6}), func(int64) { done++ })
+	c.Read(addrAt(c, Loc{Row: 6}), core.Untagged(func(int64) { done++ }))
 	runUntil(t, c, 10000, 20000, func() bool { return done == 2 })
 	d := c.DeviceStats()
 	if d.Activations() != 2 || d.Precharges != 1 {
@@ -62,7 +62,7 @@ func TestOpenPagePRAFalseHitsPersist(t *testing.T) {
 	cpu := runUntil(t, c, 0, 100000, func() bool { return c.Stats().WritesServed == 1 })
 	// Read promptly (before a refresh closes the persisted partial row).
 	done := false
-	c.Read(addrAt(c, Loc{Row: 5, Col: 3}), func(int64) { done = true })
+	c.Read(addrAt(c, Loc{Row: 5, Col: 3}), core.Untagged(func(int64) { done = true }))
 	runUntil(t, c, cpu+1, 100000, func() bool { return done })
 	if got := c.Stats().FalseHitRead; got != 1 {
 		t.Errorf("false read hits = %d, want 1 (partial row persisted)", got)

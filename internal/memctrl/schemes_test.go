@@ -32,7 +32,7 @@ func TestHalfDRAMPRAReadIsHalfRow(t *testing.T) {
 	t.Parallel()
 	c := newCtl(t, func(cfg *Config) { cfg.Scheme = HalfDRAMPRA })
 	done := false
-	c.Read(addrAt(c, Loc{Row: 6}), func(int64) { done = true })
+	c.Read(addrAt(c, Loc{Row: 6}), core.Untagged(func(int64) { done = true }))
 	runUntil(t, c, 0, 10000, func() bool { return done })
 	// Reads use a full mask on the Half-DRAM organization: granularity 8
 	// in the histogram, but cheaper energy than the plain baseline.
@@ -41,7 +41,7 @@ func TestHalfDRAMPRAReadIsHalfRow(t *testing.T) {
 	}
 	base := newCtl(t, nil)
 	doneB := false
-	base.Read(addrAt(base, Loc{Row: 6}), func(int64) { doneB = true })
+	base.Read(addrAt(base, Loc{Row: 6}), core.Untagged(func(int64) { doneB = true }))
 	runUntil(t, base, 0, 10000, func() bool { return doneB })
 	if c.Energy()[power.CompActPre] >= base.Energy()[power.CompActPre] {
 		t.Error("HalfDRAM+PRA read ACT energy must be below baseline")
@@ -66,7 +66,7 @@ func TestFGAIOEnergyMatchesBaseline(t *testing.T) {
 	ioEnergy := func(s Scheme) float64 {
 		c := newCtl(t, func(cfg *Config) { cfg.Scheme = s })
 		done := false
-		c.Read(addrAt(c, Loc{Row: 2}), func(int64) { done = true })
+		c.Read(addrAt(c, Loc{Row: 2}), core.Untagged(func(int64) { done = true }))
 		c.Write(addrAt(c, Loc{Row: 3}), core.FullByteMask)
 		runUntil(t, c, 0, 100000, func() bool { return done && c.Stats().WritesServed == 1 })
 		b := c.Energy()
@@ -156,7 +156,7 @@ func TestLineInterleavedController(t *testing.T) {
 	c := newCtl(t, func(cfg *Config) { cfg.Mapping = LineInterleaved })
 	served := 0
 	for i := 0; i < 8; i++ {
-		c.Read(uint64(i)*64, func(int64) { served++ })
+		c.Read(uint64(i)*64, core.Untagged(func(int64) { served++ }))
 	}
 	runUntil(t, c, 0, 100000, func() bool { return served == 8 })
 	// Line interleaving spreads consecutive lines across banks: at least
@@ -174,7 +174,7 @@ func TestRefreshWithQueuedRequests(t *testing.T) {
 	// falls due mid-traffic.
 	for cpu := int64(0); cpu < 4*9000; cpu++ {
 		if cpu%2048 == 0 {
-			c.Read(addrAt(c, Loc{Row: int(cpu % 1000)}), func(int64) { served++ })
+			c.Read(addrAt(c, Loc{Row: int(cpu % 1000)}), core.Untagged(func(int64) { served++ }))
 		}
 		c.Tick(cpu)
 	}

@@ -1,0 +1,206 @@
+package memctrl
+
+import (
+	"pradram/internal/checkpoint"
+	"pradram/internal/core"
+)
+
+// Checkpointing (DESIGN.md §4e). The controller serializes the clock
+// stride, the NextEvent cache, and per channel: the DRAM channel state,
+// the request queues (verbatim order — FR-FCFS scans them in order, so
+// order is simulation-visible), the forward list, drain/refresh/hit
+// bookkeeping, and the wake time. The derived occupancy indices
+// (rowCount, rankCount) are recomputed from the restored queues.
+// Statistics and energy are not serialized: checkpoints are taken at the
+// warmup boundary, immediately after ResetStats.
+//
+// Read-request completions point back into the cache hierarchy's MSHR
+// entries; they are rebound through the line-id resolver the hierarchy's
+// RestoreState returns.
+
+func saveReq(w *checkpoint.Writer, req *request) {
+	w.U8(uint8(req.kind))
+	w.Int(req.loc.Channel)
+	w.Int(req.loc.Rank)
+	w.Int(req.loc.Bank)
+	w.Int(req.loc.Row)
+	w.Int(req.loc.Col)
+	w.U64(req.rowKey)
+	w.U64(uint64(req.byteMask))
+	w.U8(uint8(req.wordMask))
+	w.I64(req.arrive)
+	if req.kind == core.Read {
+		w.U8(uint8(req.done.Tag.Kind))
+		w.U64(req.done.Tag.Serial)
+	}
+	w.Bool(req.activated)
+	w.Bool(req.falseHit)
+}
+
+// SaveState appends the controller's dynamic state.
+func (c *Controller) SaveState(w *checkpoint.Writer) {
+	w.I64(c.lastMem)
+	w.I64(c.nextMemAt)
+	w.Bool(c.active)
+	w.I64(c.minWake)
+	for _, cc := range c.chans {
+		cc.ch.SaveState(w)
+		w.Count(len(cc.readQ))
+		for _, req := range cc.readQ {
+			saveReq(w, req)
+		}
+		w.Count(len(cc.writeQ))
+		for _, req := range cc.writeQ {
+			saveReq(w, req)
+		}
+		w.Count(len(cc.forwards))
+		for _, req := range cc.forwards {
+			saveReq(w, req)
+		}
+		w.Bool(cc.drain)
+		for r := range cc.hitCount {
+			for b := range cc.hitCount[r] {
+				w.Int(cc.hitCount[r][b])
+			}
+		}
+		for _, p := range cc.refPending {
+			w.Bool(p)
+		}
+		w.I64(cc.nextWake)
+	}
+}
+
+// restoreReq decodes one request for channel cc; fillResolve rebinds read
+// completions to the restored MSHR entries.
+func (cc *chanCtl) restoreReq(r *checkpoint.Reader, fillResolve func(lineID uint64) (core.Done, bool)) *request {
+	req := &request{}
+	req.kind = core.AccessKind(r.U8())
+	if req.kind != core.Read && req.kind != core.Write {
+		r.Fail("memctrl: request kind %d", req.kind)
+	}
+	req.loc.Channel = r.Int()
+	req.loc.Rank = r.Int()
+	req.loc.Bank = r.Int()
+	req.loc.Row = r.Int()
+	req.loc.Col = r.Int()
+	req.rowKey = r.U64()
+	req.byteMask = core.ByteMask(r.U64())
+	req.wordMask = core.Mask(r.U8())
+	req.arrive = r.I64()
+	if req.kind == core.Read {
+		kind := core.DoneKind(r.U8())
+		serial := r.U64()
+		if kind != core.DoneFill {
+			r.Fail("memctrl: read completion tag kind %d", kind)
+		} else if r.Err() == nil {
+			d, ok := fillResolve(serial)
+			if !ok {
+				r.Fail("memctrl: no in-flight miss for line %#x", serial)
+			}
+			req.done = d
+		}
+	}
+	req.activated = r.Bool()
+	req.falseHit = r.Bool()
+	g := cc.cfg.Geom
+	if req.loc.Channel != cc.idx || req.loc.Rank < 0 || req.loc.Rank >= g.Ranks ||
+		req.loc.Bank < 0 || req.loc.Bank >= g.Banks || req.loc.Row < 0 || req.loc.Row >= g.Rows {
+		r.Fail("memctrl: request location %+v out of range on channel %d", req.loc, cc.idx)
+	}
+	return req
+}
+
+// RestoreState decodes a SaveState payload into temporaries and returns a
+// commit that installs it; on error the controller is untouched.
+func (c *Controller) RestoreState(r *checkpoint.Reader, fillResolve func(lineID uint64) (core.Done, bool)) (func(), error) {
+	lastMem := r.I64()
+	nextMemAt := r.I64()
+	active := r.Bool()
+	minWake := r.I64()
+	type chanState struct {
+		chCommit                func()
+		readQ, writeQ, forwards []*request
+		drain                   bool
+		hitCount                []int
+		refPending              []bool
+		nextWake                int64
+	}
+	states := make([]chanState, len(c.chans))
+	for i, cc := range c.chans {
+		st := &states[i]
+		chCommit, err := cc.ch.RestoreState(r)
+		if err != nil {
+			return nil, err
+		}
+		st.chCommit = chCommit
+		nq := r.Count()
+		if nq > c.cfg.ReadQ {
+			r.Fail("memctrl: read queue %d of %d", nq, c.cfg.ReadQ)
+			nq = 0
+		}
+		st.readQ = make([]*request, nq)
+		for j := range st.readQ {
+			st.readQ[j] = cc.restoreReq(r, fillResolve)
+		}
+		nq = r.Count()
+		if nq > c.cfg.WriteQ {
+			r.Fail("memctrl: write queue %d of %d", nq, c.cfg.WriteQ)
+			nq = 0
+		}
+		st.writeQ = make([]*request, nq)
+		for j := range st.writeQ {
+			st.writeQ[j] = cc.restoreReq(r, fillResolve)
+		}
+		st.forwards = make([]*request, r.Count())
+		for j := range st.forwards {
+			st.forwards[j] = cc.restoreReq(r, fillResolve)
+		}
+		st.drain = r.Bool()
+		st.hitCount = make([]int, c.cfg.Geom.Ranks*c.cfg.Geom.Banks)
+		for j := range st.hitCount {
+			st.hitCount[j] = r.Int()
+		}
+		st.refPending = make([]bool, c.cfg.Geom.Ranks)
+		for j := range st.refPending {
+			st.refPending[j] = r.Bool()
+		}
+		st.nextWake = r.I64()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return func() {
+		c.lastMem = lastMem
+		c.nextMemAt = nextMemAt
+		c.active = active
+		c.minWake = minWake
+		for i, cc := range c.chans {
+			st := &states[i]
+			st.chCommit()
+			cc.readQ = st.readQ
+			cc.writeQ = st.writeQ
+			cc.forwards = st.forwards
+			cc.drain = st.drain
+			for ri := range cc.hitCount {
+				for bi := range cc.hitCount[ri] {
+					cc.hitCount[ri][bi] = st.hitCount[ri*c.cfg.Geom.Banks+bi]
+				}
+			}
+			copy(cc.refPending, st.refPending)
+			cc.nextWake = st.nextWake
+			cc.freeReq = nil
+			// Recompute the derived occupancy indices (forwarded reads are
+			// never counted — they bypassed noteAdd on enqueue).
+			cc.rowCount = nil
+			for ri := range cc.rankCount {
+				cc.rankCount[ri] = 0
+			}
+			for _, req := range cc.readQ {
+				cc.noteAdd(req)
+			}
+			for _, req := range cc.writeQ {
+				cc.noteAdd(req)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+)
+
+// This file is the campaign half of warmup checkpointing (DESIGN.md §4e).
+// The Runner memoizes one checkpoint per warmup fingerprint: the first run
+// needing a fingerprint warms its own system, snapshots it, and publishes
+// the bytes; every later run with the same fingerprint — same campaign or,
+// with CkptDir, a later process — restores instead of re-warming. All
+// reuse is validated by System.Restore (CRC, model version, fingerprint),
+// and every failure path degrades to a cold warmup on the same system, so
+// checkpointing can change wall-clock but never results (enforced by
+// TestRunnerCheckpointIdentical).
+
+// ckptStore persists warmup checkpoints as raw System.Checkpoint payloads
+// under dir. Filenames are keyed by fingerprint and ModelVersion, so a
+// model bump orphans old entries instead of loading them; the payload
+// itself embeds both as well, and System.Restore re-checks them — the
+// store never needs to trust a filename.
+type ckptStore struct{ dir string }
+
+func newCkptStore(dir string) *ckptStore { return &ckptStore{dir: dir} }
+
+func (d *ckptStore) path(fp string) string {
+	h := sha256.Sum256([]byte("ckpt|" + ModelVersion + "|" + fp))
+	return filepath.Join(d.dir, hex.EncodeToString(h[:12])+".ckpt")
+}
+
+// load returns the stored checkpoint for a fingerprint. Any read failure
+// is simply a miss; a stale or corrupt payload is caught later by
+// System.Restore and falls back to a cold warmup.
+func (d *ckptStore) load(fp string) ([]byte, bool) {
+	raw, err := os.ReadFile(d.path(fp))
+	if err != nil || len(raw) == 0 {
+		return nil, false
+	}
+	return raw, true
+}
+
+// store writes via a unique temp file plus atomic rename (same protocol as
+// diskCache.store), so concurrent writers never interleave partial bytes.
+func (d *ckptStore) store(fp string, data []byte) error {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, ".pradram-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), d.path(fp))
+}
+
+// remove drops a stored checkpoint (used when a loaded entry fails
+// Restore, so the bad bytes are not re-read forever).
+func (d *ckptStore) remove(fp string) { os.Remove(d.path(fp)) }
+
+// CheckpointStore is the exported face of the on-disk checkpoint store,
+// for drivers that manage their own systems instead of going through a
+// Runner (prasim -ckpt-dir). Load returns raw checkpoint bytes that MUST
+// still be validated by System.Restore; Remove drops an entry a restore
+// rejected so it is re-made rather than re-read forever.
+type CheckpointStore struct{ d *ckptStore }
+
+// NewCheckpointStore opens (lazily creating) a checkpoint directory.
+func NewCheckpointStore(dir string) *CheckpointStore {
+	return &CheckpointStore{d: newCkptStore(dir)}
+}
+
+// Load returns the stored checkpoint for a warmup fingerprint.
+func (s *CheckpointStore) Load(fp string) ([]byte, bool) { return s.d.load(fp) }
+
+// Store persists a checkpoint for a warmup fingerprint (atomic rename).
+func (s *CheckpointStore) Store(fp string, data []byte) error { return s.d.store(fp, data) }
+
+// Remove drops the stored checkpoint for a warmup fingerprint.
+func (s *CheckpointStore) Remove(fp string) { s.d.remove(fp) }
+
+// inflightCkpt is one in-progress warmup other runs of the same
+// fingerprint can wait on. data stays nil if the producer failed to
+// checkpoint, in which case waiters warm cold.
+type inflightCkpt struct {
+	done chan struct{}
+	data []byte
+}
+
+// ckptAcquire resolves a fingerprint against the checkpoint memo.
+// Exactly one of three outcomes:
+//
+//	data, nil    — hit: restore from data.
+//	nil, publish — this caller is the producer: warm, checkpoint, and
+//	               publish the bytes (nil on failure) exactly once.
+//	nil, nil     — the producer failed; warm cold without publishing.
+func (r *Runner) ckptAcquire(fp string) ([]byte, func([]byte)) {
+	r.ckptMu.Lock()
+	if data, ok := r.ckpts[fp]; ok {
+		r.ckptMu.Unlock()
+		return data, nil
+	}
+	if in, ok := r.ckptFlight[fp]; ok {
+		r.ckptMu.Unlock()
+		<-in.done
+		return in.data, nil
+	}
+	in := &inflightCkpt{done: make(chan struct{})}
+	r.ckptFlight[fp] = in
+	r.ckptMu.Unlock()
+	return nil, func(data []byte) {
+		in.data = data
+		r.ckptMu.Lock()
+		if data != nil {
+			r.ckpts[fp] = data
+		}
+		delete(r.ckptFlight, fp)
+		r.ckptMu.Unlock()
+		close(in.done)
+	}
+}
+
+// runOne executes one configuration through the checkpoint layer: reuse a
+// warmed snapshot when one exists, produce one when this is the first run
+// of its fingerprint, and fall back to a monolithic run whenever the
+// configuration cannot be checkpointed or a restore is rejected.
+func (r *Runner) runOne(cfg Config) (Result, error) {
+	if r.opt.NoCheckpoint {
+		return RunOne(cfg)
+	}
+	fp, ok := WarmupFingerprint(cfg)
+	if !ok {
+		return RunOne(cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	data, publish := r.ckptAcquire(fp)
+	if data != nil {
+		// Restore validates everything and leaves s pristine on failure,
+		// so the fallback below warms the very same system cold.
+		if err := s.Restore(data); err == nil {
+			r.ckptHits.Add(1)
+			return s.Measure()
+		}
+	}
+	r.ckptMisses.Add(1)
+	if publish == nil {
+		return s.Run()
+	}
+	// Producer. A persisted checkpoint from an earlier process replaces
+	// the warmup if it restores; a rejected entry is deleted and re-made.
+	if r.ckptDisk != nil {
+		if stored, ok := r.ckptDisk.load(fp); ok {
+			if err := s.Restore(stored); err == nil {
+				publish(stored)
+				// The cold warmup never ran: undo the miss above.
+				r.ckptMisses.Add(-1)
+				r.ckptHits.Add(1)
+				return s.Measure()
+			}
+			r.ckptDisk.remove(fp)
+		}
+	}
+	if err := s.Warmup(); err != nil {
+		publish(nil)
+		return Result{}, err
+	}
+	snap, err := s.Checkpoint()
+	if err != nil {
+		snap = nil // waiters warm cold; this run proceeds regardless
+	}
+	publish(snap)
+	if snap != nil && r.ckptDisk != nil {
+		// A failed store only costs a future re-warmup.
+		_ = r.ckptDisk.store(fp, snap)
+	}
+	return s.Measure()
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pradram/internal/memctrl"
+)
+
+// ckptCampaignKeys is a small campaign containing two fingerprint-sharing
+// pairs: NoPartialIO is excluded from the warmup fingerprint, so each
+// (workload, scheme) pair warms once and its noIO variant restores.
+func ckptCampaignKeys() []runKey {
+	return []runKey{
+		{workload: "GUPS", scheme: memctrl.PRA, policy: memctrl.RelaxedClose, active: 1},
+		{workload: "GUPS", scheme: memctrl.PRA, policy: memctrl.RelaxedClose, active: 1, noIO: true},
+		{workload: "LinkedList", scheme: memctrl.Baseline, policy: memctrl.RelaxedClose, active: 1},
+		{workload: "LinkedList", scheme: memctrl.Baseline, policy: memctrl.RelaxedClose, active: 1, noIO: true},
+	}
+}
+
+func ckptRunnerOpts() ExpOptions {
+	return ExpOptions{Instr: 3000, Warmup: 3000, Seed: 1, Workers: 2}
+}
+
+// TestRunnerCheckpointIdentical proves the checkpoint layer is invisible
+// in results: a campaign run with checkpoint reuse returns bit-identical
+// Results to the same campaign with NoCheckpoint, while actually reusing
+// warmups (hit counter) on the fingerprint-sharing keys.
+func TestRunnerCheckpointIdentical(t *testing.T) {
+	keys := ckptCampaignKeys()
+
+	warm := NewRunner(ckptRunnerOpts())
+	if err := warm.Precompute(keys); err != nil {
+		t.Fatalf("checkpointed campaign: %v", err)
+	}
+	optCold := ckptRunnerOpts()
+	optCold.NoCheckpoint = true
+	cold := NewRunner(optCold)
+	if err := cold.Precompute(keys); err != nil {
+		t.Fatalf("cold campaign: %v", err)
+	}
+
+	for _, k := range keys {
+		rw, err := warm.Run(k)
+		if err != nil {
+			t.Fatalf("warm %s: %v", k, err)
+		}
+		rc, err := cold.Run(k)
+		if err != nil {
+			t.Fatalf("cold %s: %v", k, err)
+		}
+		if !reflect.DeepEqual(rw, rc) {
+			t.Errorf("%s: checkpointed result differs from cold result", k)
+		}
+	}
+	if hits := warm.CheckpointHits(); hits != 2 {
+		t.Errorf("checkpoint hits = %d, want 2 (one per fingerprint-sharing pair)", hits)
+	}
+	if misses := warm.CheckpointMisses(); misses != 2 {
+		t.Errorf("checkpoint misses = %d, want 2 (one producer per fingerprint)", misses)
+	}
+	if h, m := cold.CheckpointHits(), cold.CheckpointMisses(); h != 0 || m != 0 {
+		t.Errorf("NoCheckpoint runner counted hits=%d misses=%d, want 0/0", h, m)
+	}
+}
+
+// TestRunnerCheckpointDisk proves -ckpt-dir persistence: a second runner
+// process sharing the directory restores the first runner's warmup
+// instead of repeating it, with identical results.
+func TestRunnerCheckpointDisk(t *testing.T) {
+	dir := t.TempDir()
+	key := runKey{workload: "GUPS", scheme: memctrl.PRA, policy: memctrl.RelaxedClose, active: 1}
+
+	opt := ckptRunnerOpts()
+	opt.CkptDir = dir
+	a := NewRunner(opt)
+	resA, err := a.Run(key)
+	if err != nil {
+		t.Fatalf("first runner: %v", err)
+	}
+	if h, m := a.CheckpointHits(), a.CheckpointMisses(); h != 0 || m != 1 {
+		t.Fatalf("first runner hits=%d misses=%d, want 0/1", h, m)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("checkpoint files on disk = %v (err %v), want exactly one", files, err)
+	}
+
+	b := NewRunner(opt)
+	resB, err := b.Run(key)
+	if err != nil {
+		t.Fatalf("second runner: %v", err)
+	}
+	if h, m := b.CheckpointHits(), b.CheckpointMisses(); h != 1 || m != 0 {
+		t.Errorf("second runner hits=%d misses=%d, want 1/0", h, m)
+	}
+	if b.Simulations() != 1 {
+		t.Errorf("second runner simulations = %d, want 1 (measure still runs)", b.Simulations())
+	}
+	if !reflect.DeepEqual(resA, resB) {
+		t.Errorf("restored-from-disk result differs from cold result")
+	}
+}
+
+// TestRunnerCheckpointDiskCorrupt proves a damaged persisted checkpoint is
+// rejected, replaced, and never changes results.
+func TestRunnerCheckpointDiskCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	key := runKey{workload: "GUPS", scheme: memctrl.PRA, policy: memctrl.RelaxedClose, active: 1}
+	opt := ckptRunnerOpts()
+	opt.CkptDir = dir
+
+	a := NewRunner(opt)
+	resA, err := a.Run(key)
+	if err != nil {
+		t.Fatalf("first runner: %v", err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if len(files) != 1 {
+		t.Fatalf("checkpoint files on disk = %v, want exactly one", files)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x41
+	if err := os.WriteFile(files[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewRunner(opt)
+	resB, err := b.Run(key)
+	if err != nil {
+		t.Fatalf("runner with corrupt store: %v", err)
+	}
+	if h, m := b.CheckpointHits(), b.CheckpointMisses(); h != 0 || m != 1 {
+		t.Errorf("corrupt-store runner hits=%d misses=%d, want 0/1 (cold fallback)", h, m)
+	}
+	if !reflect.DeepEqual(resA, resB) {
+		t.Errorf("result after corrupt-checkpoint fallback differs")
+	}
+
+	// The producer replaces the damaged entry, so a third runner hits.
+	c := NewRunner(opt)
+	if _, err := c.Run(key); err != nil {
+		t.Fatalf("third runner: %v", err)
+	}
+	if h := c.CheckpointHits(); h != 1 {
+		t.Errorf("third runner hits = %d, want 1 (store was repaired)", h)
+	}
+}
+
+// TestRunnerCheckpointIneligible proves runs without a warmup phase bypass
+// the checkpoint layer without touching the counters.
+func TestRunnerCheckpointIneligible(t *testing.T) {
+	opt := ckptRunnerOpts()
+	opt.Warmup = 0
+	r := NewRunner(opt)
+	if _, err := r.Run(runKey{workload: "GUPS", scheme: memctrl.Baseline, policy: memctrl.RelaxedClose, active: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := r.CheckpointHits(), r.CheckpointMisses(); h != 0 || m != 0 {
+		t.Errorf("warmupless runner counted hits=%d misses=%d, want 0/0", h, m)
+	}
+}

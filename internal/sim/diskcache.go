@@ -9,9 +9,16 @@ import (
 	"path/filepath"
 )
 
-// ModelVersion stamps disk-cached results with the simulation model's
-// semantic version. Bump it whenever a change alters simulated numbers,
-// so stale caches invalidate instead of silently resurfacing old results.
+// ModelVersion stamps disk-cached results AND warmup checkpoints with the
+// simulation model's semantic version. Bump it whenever a change alters
+// simulated numbers, so stale caches invalidate instead of silently
+// resurfacing old results — for checkpoints the stakes are higher than a
+// wrong table: restoring a snapshot taken under different model semantics
+// would silently contaminate every run warmed from it. A bump orphans old
+// checkpoint files (their names hash the version) and System.Restore
+// additionally rejects any payload whose embedded version disagrees.
+// Container-format changes to the checkpoint encoding itself are versioned
+// separately by ckptFormat (checkpoint.go).
 const ModelVersion = "pradram-model-v1"
 
 // diskCache persists one Result per configuration as a JSON file under

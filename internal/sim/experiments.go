@@ -52,6 +52,19 @@ type ExpOptions struct {
 	// (enforced by the determinism suite), which is also why the on-disk
 	// cache deliberately does not key on it.
 	NoSkip bool
+
+	// CkptDir, when non-empty, persists warmup checkpoints on disk so
+	// later invocations sharing the directory restore instead of
+	// re-warming (praexp/prasim -ckpt-dir). Independent of CacheDir: the
+	// result cache skips whole runs, the checkpoint store skips warmups of
+	// runs that still have to simulate their measured window.
+	CkptDir string
+
+	// NoCheckpoint disables warmup checkpoint reuse entirely; every run
+	// warms from scratch. Results are bit-identical either way (enforced
+	// by the checkpoint bit-identity suite) — this exists for A/B
+	// benchmarking and as an escape hatch.
+	NoCheckpoint bool
 }
 
 // DefaultExpOptions returns the standard experiment budget.
@@ -72,8 +85,18 @@ type Runner struct {
 	cache    map[string]Result
 	inflight map[string]*inflightRun
 
-	sims     atomic.Int64 // simulations actually executed
-	diskHits atomic.Int64 // runs recalled from the on-disk cache
+	// Warmup checkpoint memo (ckptcache.go): one snapshot per warmup
+	// fingerprint, produced by the first run that needs it and reused by
+	// every later run sharing the fingerprint.
+	ckptMu     sync.Mutex
+	ckpts      map[string][]byte
+	ckptFlight map[string]*inflightCkpt
+	ckptDisk   *ckptStore
+
+	sims       atomic.Int64 // simulations actually executed
+	diskHits   atomic.Int64 // runs recalled from the on-disk cache
+	ckptHits   atomic.Int64 // simulations that reused a warmup checkpoint
+	ckptMisses atomic.Int64 // checkpoint-eligible simulations that warmed cold
 }
 
 // inflightRun is one in-progress simulation other goroutines can wait on.
@@ -93,12 +116,17 @@ func NewRunner(opt ExpOptions) *Runner {
 		opt.Warmup = 0
 	}
 	r := &Runner{
-		opt:      opt,
-		cache:    make(map[string]Result),
-		inflight: make(map[string]*inflightRun),
+		opt:        opt,
+		cache:      make(map[string]Result),
+		inflight:   make(map[string]*inflightRun),
+		ckpts:      make(map[string][]byte),
+		ckptFlight: make(map[string]*inflightCkpt),
 	}
 	if opt.CacheDir != "" {
 		r.disk = newDiskCache(opt.CacheDir)
+	}
+	if opt.CkptDir != "" {
+		r.ckptDisk = newCkptStore(opt.CkptDir)
 	}
 	return r
 }
@@ -109,6 +137,14 @@ func (r *Runner) Simulations() int64 { return r.sims.Load() }
 
 // DiskHits returns how many runs were recalled from the on-disk cache.
 func (r *Runner) DiskHits() int64 { return r.diskHits.Load() }
+
+// CheckpointHits returns how many simulations skipped their warmup by
+// restoring a memoized (or persisted) warmup checkpoint.
+func (r *Runner) CheckpointHits() int64 { return r.ckptHits.Load() }
+
+// CheckpointMisses returns how many checkpoint-eligible simulations had to
+// warm from scratch (first run of a fingerprint, or a rejected restore).
+func (r *Runner) CheckpointMisses() int64 { return r.ckptMisses.Load() }
 
 type runKey struct {
 	workload string
@@ -190,7 +226,7 @@ func (r *Runner) execute(k runKey, key string) (Result, error) {
 			return res, nil
 		}
 	}
-	res, err := RunOne(r.config(k))
+	res, err := r.runOne(r.config(k))
 	if err != nil {
 		return Result{}, fmt.Errorf("run %s: %w", key, err)
 	}

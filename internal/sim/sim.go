@@ -164,6 +164,13 @@ type System struct {
 	// the executed-ticks budget semantics.
 	skipped int64
 	ticks   int64
+
+	// cycle is the run loop's position. It lives on the System (not as a
+	// Run local) so Warmup and Measure can run as separate phases with a
+	// checkpoint in between; ticks carries the executed-tick budget across
+	// the same boundary.
+	cycle  int64
+	warmed bool
 }
 
 // New assembles a system from the configuration.
@@ -247,83 +254,107 @@ func New(cfg Config) (*System, error) {
 	return s, nil
 }
 
+// maxTicks returns the no-progress budget. It counts ticks executed
+// (cycles the loop actually simulated), not cycles elapsed:
+// fast-forwarding can push the cycle number arbitrarily far without doing
+// work, and work — not wall-clock position — is what a hung run fails to
+// convert into retirement. With skipping off the two measures coincide, so
+// the seed's abort behaviour is unchanged.
+func (s *System) maxTicks() int64 {
+	if s.cfg.MaxCycles != 0 {
+		return s.cfg.MaxCycles
+	}
+	return (s.cfg.InstrPerCore+s.cfg.WarmupPerCore)*2000 + 10_000_000
+}
+
 // Run executes the configured number of instructions on every active core
 // and returns the collected metrics. Cores that finish early keep running
 // (to preserve contention) until the slowest core reaches its target, as in
 // multiprogrammed SPEC-rate methodology; each core's IPC is measured at its
 // own finish point.
 func (s *System) Run() (Result, error) {
-	target := s.cfg.InstrPerCore
-	// The no-progress budget counts ticks executed (cycles the loop
-	// actually simulated), not cycles elapsed: fast-forwarding can push
-	// the cycle number arbitrarily far without doing work, and work —
-	// not wall-clock position — is what a hung run fails to convert into
-	// retirement. With skipping off the two measures coincide, so the
-	// seed's abort behaviour is unchanged.
-	maxTicks := s.cfg.MaxCycles
-	if maxTicks == 0 {
-		maxTicks = (target+s.cfg.WarmupPerCore)*2000 + 10_000_000
+	if err := s.Warmup(); err != nil {
+		return Result{}, err
 	}
+	return s.Measure()
+}
 
-	var cycle, ticks int64
-	defer func() { s.ticks = ticks }()
+// Warmup runs Config.WarmupPerCore instructions per core and resets every
+// statistic, so Measure sees steady-state cache and DRAM behaviour. It is
+// the first half of Run, split out so the post-warmup state can be
+// checkpointed (Checkpoint) and reused (Restore) across runs that share a
+// warmup fingerprint. With no warmup configured it is a no-op.
+func (s *System) Warmup() error {
+	if s.cfg.WarmupPerCore <= 0 || s.warmed {
+		return nil
+	}
+	maxTicks := s.maxTicks()
 	// With skipping on, a cycle another component forces the loop to
 	// execute still need not Tick a blocked core: a quiescent core's Tick
 	// is a provable no-op (the NextEvent contract), so SkipCycles stands in
 	// for it. With skipping off every component ticks every cycle, keeping
 	// the baseline faithful to per-cycle operation.
 	skipIdle := !s.cfg.NoSkip
-	// Warmup: run the requested instructions, then reset every statistic
-	// so the measured window sees steady-state cache and DRAM behaviour.
-	if s.cfg.WarmupPerCore > 0 {
-		warm := s.cfg.WarmupPerCore
-		remaining := len(s.cores)
-		done := make([]bool, len(s.cores))
-		for remaining > 0 {
-			if ticks >= maxTicks {
-				return Result{}, fmt.Errorf("sim: warmup made no progress after %d executed ticks (cycle %d)", ticks, cycle)
+	warm := s.cfg.WarmupPerCore
+	remaining := len(s.cores)
+	done := make([]bool, len(s.cores))
+	for remaining > 0 {
+		if s.ticks >= maxTicks {
+			return fmt.Errorf("sim: warmup made no progress after %d executed ticks (cycle %d)", s.ticks, s.cycle)
+		}
+		s.ticks++
+		s.now = s.cycle
+		s.hier.Tick(s.cycle)
+		for i, c := range s.cores {
+			if skipIdle && c.Quiescent() {
+				c.SkipCycles(1)
+				continue // cannot retire, so the done check is moot
 			}
-			ticks++
-			s.now = cycle
-			s.hier.Tick(cycle)
-			for i, c := range s.cores {
-				if skipIdle && c.Quiescent() {
-					c.SkipCycles(1)
-					continue // cannot retire, so the done check is moot
-				}
-				c.Tick(cycle)
-				if !done[i] && c.Retired >= warm {
-					done[i] = true
-					remaining--
-				}
-			}
-			s.ctrl.Tick(cycle)
-			cycle++
-			if remaining > 0 {
-				var err error
-				if cycle, err = s.fastForward(cycle); err != nil {
-					return Result{}, err
-				}
+			c.Tick(s.cycle)
+			if !done[i] && c.Retired >= warm {
+				done[i] = true
+				remaining--
 			}
 		}
-		// Fast-forwarding defers background-energy accrual; settle it at
-		// the boundary so the reset discards exactly the warmup share.
-		s.ctrl.CatchUp(cycle)
-		for _, c := range s.cores {
-			c.ResetStats()
+		s.ctrl.Tick(s.cycle)
+		s.cycle++
+		if remaining > 0 {
+			var err error
+			if s.cycle, err = s.fastForward(s.cycle); err != nil {
+				return err
+			}
 		}
-		s.hier.ResetStats()
-		s.ctrl.ResetStats()
-		if s.cap != nil {
-			// Drop warmup traffic and rebase capture time to the measured
-			// window so replays start at cycle zero.
-			s.cap.Trace.Records = s.cap.Trace.Records[:0]
-			s.capBase = cycle
-		}
-		// Drop warmup events so the ring holds only measured-window
-		// activity.
-		s.ev.Reset()
 	}
+	// Fast-forwarding defers background-energy accrual; settle it at
+	// the boundary so the reset discards exactly the warmup share.
+	s.ctrl.CatchUp(s.cycle)
+	for _, c := range s.cores {
+		c.ResetStats()
+	}
+	s.hier.ResetStats()
+	s.ctrl.ResetStats()
+	if s.cap != nil {
+		// Drop warmup traffic and rebase capture time to the measured
+		// window so replays start at cycle zero.
+		s.cap.Trace.Records = s.cap.Trace.Records[:0]
+		s.capBase = s.cycle
+	}
+	// Drop warmup events so the ring holds only measured-window
+	// activity.
+	s.ev.Reset()
+	s.warmed = true
+	return nil
+}
+
+// Measure runs the measured window — the second half of Run — and returns
+// the collected metrics. Call it after Warmup (or after Restore installed
+// a checkpointed warmup state).
+func (s *System) Measure() (Result, error) {
+	target := s.cfg.InstrPerCore
+	maxTicks := s.maxTicks()
+	skipIdle := !s.cfg.NoSkip
+	cycle, ticks := s.cycle, s.ticks
+	defer func() { s.cycle, s.ticks = cycle, ticks }()
 
 	finish := make([]int64, len(s.cores))
 	for i := range finish {

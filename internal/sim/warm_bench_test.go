@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"pradram/internal/memctrl"
+)
+
+// Paired wall-clock benchmarks for warmup checkpointing, gated by
+// tools/benchgate -warm on ratios between the pairs (host-normalized, no
+// stored baseline):
+//
+//   - The campaign pair runs four configurations that share one warmup
+//     fingerprint (ECC and NoPartialIO are energy-only knobs, excluded
+//     from it) under a warmup-dominated budget. The checkpoint path warms
+//     once and restores three times; the cold path warms four times. The
+//     cold/checkpoint ratio is the campaign speedup the feature exists
+//     for, and its CI floor is 1.3x.
+//   - The single pair runs one configuration through the producer path
+//     (warm, serialize a checkpoint, measure) against a monolithic Run.
+//     The only extra work is serialization (~2-3 ms for the ~1.7 MB
+//     payload, constant in run length), so its gate is a tight overhead
+//     ceiling: producing a snapshot nobody reuses must be (almost) free.
+//     The pair uses a longer budget than the campaign so the constant
+//     serialization cost is measured against a realistic run, not
+//     magnified by a tiny one.
+//
+// Runs are deterministic, so every iteration does identical simulation
+// work and ns/op differences are pure host effects.
+
+// warmCampaignConfigs is the fingerprint-sharing campaign: GUPS under PRA
+// with a warmup four times the measured window, crossed over the two
+// energy-only knobs the fingerprint excludes.
+func warmCampaignConfigs() []Config {
+	var cfgs []Config
+	for _, ecc := range []bool{false, true} {
+		for _, noIO := range []bool{false, true} {
+			cfg := DefaultConfig("GUPS")
+			cfg.Scheme = memctrl.PRA
+			cfg.ActiveCores = 1
+			cfg.InstrPerCore = 50_000
+			cfg.WarmupPerCore = 200_000
+			cfg.ECC = ecc
+			cfg.NoPartialIO = noIO
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+func benchWarmCampaign(b *testing.B, noCkpt bool) {
+	b.Helper()
+	cfgs := warmCampaignConfigs()
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(ExpOptions{Instr: 50_000, Warmup: 200_000, NoCheckpoint: noCkpt})
+		for _, cfg := range cfgs {
+			if _, err := r.runOne(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !noCkpt && r.CheckpointHits() != int64(len(cfgs)-1) {
+			b.Fatalf("campaign reused %d warmups, want %d", r.CheckpointHits(), len(cfgs)-1)
+		}
+	}
+}
+
+func benchWarmSingle(b *testing.B, ckpt bool) {
+	b.Helper()
+	cfg := warmCampaignConfigs()[0]
+	cfg.InstrPerCore = 200_000
+	for i := 0; i < b.N; i++ {
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ckpt {
+			if _, err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		if err := s.Warmup(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Measure(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWarmCampaignCheckpoint(b *testing.B) { benchWarmCampaign(b, false) }
+func BenchmarkWarmCampaignCold(b *testing.B)       { benchWarmCampaign(b, true) }
+func BenchmarkWarmSingleCheckpoint(b *testing.B)   { benchWarmSingle(b, true) }
+func BenchmarkWarmSingleCold(b *testing.B)         { benchWarmSingle(b, false) }

@@ -82,7 +82,7 @@ func FuzzCaptureReplay(f *testing.F) {
 					i++
 				}
 			} else {
-				if cap.Read(r.Addr, func(int64) { outstanding-- }) {
+				if cap.Read(r.Addr, core.Untagged(func(int64) { outstanding-- })) {
 					outstanding++
 					i++
 				}

@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 
+	"pradram/internal/core"
 	"pradram/internal/dram"
 	"pradram/internal/memctrl"
 	"pradram/internal/power"
@@ -82,7 +83,7 @@ func ReplayWith(t *Trace, cfg memctrl.Config, opt ReplayOpts) (ReplayResult, err
 				}
 				res.Writes++
 			} else {
-				if !ctrl.Read(rec.Addr, func(int64) { outstanding-- }) {
+				if !ctrl.Read(rec.Addr, core.Untagged(func(int64) { outstanding-- })) {
 					blocked = true
 					break
 				}

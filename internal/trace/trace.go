@@ -131,7 +131,7 @@ func Load(r io.Reader) (*Trace, error) {
 // structural copy of cache.Backend, kept local to avoid a dependency
 // cycle).
 type Backend interface {
-	Read(addr uint64, done func(at int64)) bool
+	Read(addr uint64, done core.Done) bool
 	Write(addr uint64, mask core.ByteMask) bool
 }
 
@@ -144,7 +144,7 @@ type Capture struct {
 }
 
 // Read records and forwards a line fill.
-func (c *Capture) Read(addr uint64, done func(at int64)) bool {
+func (c *Capture) Read(addr uint64, done core.Done) bool {
 	ok := c.Inner.Read(addr, done)
 	if ok {
 		c.Trace.Records = append(c.Trace.Records, Record{At: c.Now(), Addr: addr})

@@ -112,7 +112,7 @@ type fakeBackend struct {
 	accept        bool
 }
 
-func (f *fakeBackend) Read(addr uint64, done func(at int64)) bool {
+func (f *fakeBackend) Read(addr uint64, done core.Done) bool {
 	if f.accept {
 		f.reads++
 	}
@@ -129,7 +129,7 @@ func TestCaptureRecordsAcceptedOnly(t *testing.T) {
 	inner := &fakeBackend{accept: false}
 	now := int64(0)
 	c := &Capture{Inner: inner, Now: func() int64 { return now }}
-	if c.Read(0x40, func(int64) {}) {
+	if c.Read(0x40, core.Untagged(func(int64) {})) {
 		t.Fatal("refusal must propagate")
 	}
 	if c.Trace.Len() != 0 {
@@ -137,7 +137,7 @@ func TestCaptureRecordsAcceptedOnly(t *testing.T) {
 	}
 	inner.accept = true
 	now = 7
-	c.Read(0x40, func(int64) {})
+	c.Read(0x40, core.Untagged(func(int64) {}))
 	now = 9
 	c.Write(0x80, core.StoreBytes(0, 8))
 	if c.Trace.Len() != 2 {

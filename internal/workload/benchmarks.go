@@ -18,19 +18,19 @@ import (
 func newGUPS(coreID int, seed uint64, region Region) cpu.Generator {
 	rng := NewRNG(mixSeed("GUPS", coreID, seed))
 	table := region.sub(0, 512<<20)
-	g := &visitGen{name: "GUPS", rng: rng}
-	var prev uint64
+	// regs[0]: previous update address (row-locality neighbor seed).
+	g := newVisitGen("GUPS", rng, 1)
 	g.visit = func(g *visitGen) {
 		addr := table.randLine(g.rng)
-		if g.rng.Bool(0.05) && prev != 0 {
+		if g.rng.Bool(0.05) && g.regs[0] != 0 {
 			// Occasional same-row neighbor (+128B stays on the same
 			// channel under row interleaving): the paper's ~3% residual.
-			addr = prev + 128
+			addr = g.regs[0] + 128
 			if addr >= table.Base+table.Bytes {
 				addr = table.Base
 			}
 		}
-		prev = addr
+		g.regs[0] = addr
 		word := g.rng.Intn(8)
 		g.load(addr)
 		g.compute(2)
@@ -47,19 +47,19 @@ func newGUPS(coreID int, seed uint64, region Region) cpu.Generator {
 func newLinkedList(coreID int, seed uint64, region Region) cpu.Generator {
 	rng := NewRNG(mixSeed("LinkedList", coreID, seed))
 	nodes := region.sub(0, 256<<20)
-	g := &visitGen{name: "LinkedList", rng: rng}
-	var prev uint64
+	// regs[0]: previous node address (adjacent-allocation seed).
+	g := newVisitGen("LinkedList", rng, 1)
 	g.visit = func(g *visitGen) {
 		// Mostly random node placement; a small fraction of nodes were
 		// allocated adjacently (the paper's ~4% residual row locality).
 		addr := nodes.randLine(g.rng)
-		if g.rng.Bool(0.08) && prev != 0 {
-			addr = prev + 128 // same-channel neighbor line
+		if g.rng.Bool(0.08) && g.regs[0] != 0 {
+			addr = g.regs[0] + 128 // same-channel neighbor line
 			if addr >= nodes.Base+nodes.Bytes {
 				addr = nodes.Base
 			}
 		}
-		prev = addr
+		g.regs[0] = addr
 		g.loadDep(addr) // follow the next pointer
 		if g.rng.Bool(0.06) && addr+128 < nodes.Base+nodes.Bytes {
 			// Fat node: the payload spills into the adjacent line, read
@@ -84,17 +84,17 @@ func newLinkedList(coreID int, seed uint64, region Region) cpu.Generator {
 func newEm3d(coreID int, seed uint64, region Region) cpu.Generator {
 	rng := NewRNG(mixSeed("em3d", coreID, seed))
 	graph := region.sub(0, 384<<20)
-	g := &visitGen{name: "em3d", rng: rng}
-	var prev uint64
+	// regs[0]: previous node address (consecutive-allocation seed).
+	g := newVisitGen("em3d", rng, 1)
 	g.visit = func(g *visitGen) {
 		node := graph.randLine(g.rng)
-		if g.rng.Bool(0.1) && prev != 0 {
-			node = prev + 128 // nodes allocated consecutively in each list
+		if g.rng.Bool(0.1) && g.regs[0] != 0 {
+			node = g.regs[0] + 128 // nodes allocated consecutively in each list
 			if node >= graph.Base+graph.Bytes {
 				node = graph.Base
 			}
 		}
-		prev = node
+		g.regs[0] = node
 		g.loadDep(node) // chase the node pointer
 		if g.rng.Bool(0.08) && node+128 < graph.Base+graph.Bytes {
 			// Gather the neighboring from-node of the same list, placed
@@ -119,8 +119,8 @@ func newMcf(coreID int, seed uint64, region Region) cpu.Generator {
 	rng := NewRNG(mixSeed("mcf", coreID, seed))
 	arcs := region.sub(0, 256<<20)
 	nodesR := region.sub(256<<20, 256<<20)
-	arcScan := newSeqStream(arcs, 1)
-	g := &visitGen{name: "mcf", rng: rng}
+	g := newVisitGen("mcf", rng, 0)
+	arcScan := g.stream(arcs, 1)
 	g.visit = func(g *visitGen) {
 		g.load(arcScan.next()) // sequential arc
 		g.compute(2)
@@ -145,8 +145,8 @@ func newOmnetpp(coreID int, seed uint64, region Region) cpu.Generator {
 	rng := NewRNG(mixSeed("omnetpp", coreID, seed))
 	heap := region.sub(0, 64<<20)
 	msgs := region.sub(64<<20, 384<<20)
-	heapScan := newSeqStream(heap, 1)
-	g := &visitGen{name: "omnetpp", rng: rng}
+	g := newVisitGen("omnetpp", rng, 0)
+	heapScan := g.stream(heap, 1)
 	g.visit = func(g *visitGen) {
 		g.load(heapScan.next())
 		g.load(heapScan.next())
@@ -180,11 +180,11 @@ func newLibquantum(coreID int, seed uint64, region Region) cpu.Generator {
 	rng := NewRNG(mixSeed("libquantum", coreID, seed))
 	state := region.sub(0, 256<<20)
 	ops := region.sub(256<<20, 128<<20)
-	opScan := newSeqStream(ops, 1)
-	g := &visitGen{name: "libquantum", rng: rng}
-	node := uint64(0)
-	opLine := uint64(0)
+	// regs[0]: current register-node index; regs[1]: current operator line.
+	g := newVisitGen("libquantum", rng, 2)
+	opScan := g.stream(ops, 1)
 	g.visit = func(g *visitGen) {
+		node := g.regs[0]
 		line := state.Base + (node/4)*64
 		if line >= state.Base+state.Bytes {
 			node = 0
@@ -196,11 +196,11 @@ func newLibquantum(coreID int, seed uint64, region Region) cpu.Generator {
 		// Operator table: re-read the current line, advancing every 4
 		// node visits (so reads outnumber writebacks ~2:1 at DRAM).
 		if node%4 == 0 {
-			opLine = opScan.next()
+			g.regs[1] = opScan.next()
 		}
-		g.load(opLine)
+		g.load(g.regs[1])
 		g.compute(2)
-		node++
+		g.regs[0] = node + 1
 	}
 	return g
 }
@@ -218,14 +218,15 @@ func newLbm(coreID int, seed uint64, region Region) cpu.Generator {
 	dstNear := region.sub(128<<20, 128<<20)
 	dstFarY := region.sub(256<<20, 128<<20)
 	dstFarX := region.sub(384<<20, 128<<20)
-	srcScan := newSeqStream(src, 1)
+	// regs[0]: current cell counter.
+	g := newVisitGen("lbm", rng, 1)
+	srcScan := g.stream(src, 1)
 	// 256 lines = one full DRAM row (128 lines x 2 channels): consecutive
 	// far-plane writes land in consecutive rows of the same bank.
-	farY := newSeqStream(dstFarY, 256)
-	farX := newSeqStream(dstFarX, 256)
-	g := &visitGen{name: "lbm", rng: rng}
-	cell := uint64(0)
+	farY := g.stream(dstFarY, 256)
+	farX := g.stream(dstFarX, 256)
 	g.visit = func(g *visitGen) {
+		cell := g.regs[0]
 		g.load(srcScan.next())
 		g.compute(3)
 		// z-neighbors: two 16B distribution pairs per adjacent line (the
@@ -237,7 +238,7 @@ func newLbm(coreID int, seed uint64, region Region) cpu.Generator {
 		g.store(farY.next(), g.rng.Intn(5)*8, 24)
 		g.store(farX.next(), g.rng.Intn(6)*8, 16)
 		g.compute(3)
-		cell++
+		g.regs[0] = cell + 1
 	}
 	return g
 }
@@ -251,8 +252,8 @@ func newBzip2(coreID int, seed uint64, region Region) cpu.Generator {
 	rng := NewRNG(mixSeed("bzip2", coreID, seed))
 	block := region.sub(0, 128<<20)
 	ptrs := region.sub(128<<20, 64<<20)
-	ptrScan := newSeqStream(ptrs, 1)
-	g := &visitGen{name: "bzip2", rng: rng}
+	g := newVisitGen("bzip2", rng, 0)
+	ptrScan := g.stream(ptrs, 1)
 	g.visit = func(g *visitGen) {
 		g.compute(8)
 		g.load(ptrScan.next())

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"pradram/internal/checkpoint"
 	"pradram/internal/core"
 	"pradram/internal/cpu"
 )
@@ -74,15 +75,109 @@ func (s *seqStream) next() uint64 {
 
 // visitGen is the common machinery of all generators: a visit function
 // refills an op queue, Next drains it one op at a time.
+//
+// All mutable benchmark state lives in the regs slice (scalar registers:
+// previous addresses, cell counters) and the registered streams — never in
+// visit-closure variables — so a generator's exact mid-run position
+// serializes through SaveState/RestoreState for warmup checkpointing.
 type visitGen struct {
 	name  string
 	rng   *RNG
 	queue []cpu.Op
 	head  int
 	visit func(g *visitGen)
+
+	regs    []uint64
+	streams []*seqStream
 }
 
 var _ cpu.Generator = (*visitGen)(nil)
+var _ checkpoint.Saver = (*visitGen)(nil)
+
+// newVisitGen builds the shared machinery with nregs scalar registers.
+func newVisitGen(name string, rng *RNG, nregs int) *visitGen {
+	return &visitGen{name: name, rng: rng, regs: make([]uint64, nregs)}
+}
+
+// stream registers a sequential stream so its position checkpoints.
+func (g *visitGen) stream(r Region, strideLines uint64) *seqStream {
+	s := newSeqStream(r, strideLines)
+	g.streams = append(g.streams, s)
+	return s
+}
+
+// SaveState serializes the generator's complete dynamic state: RNG
+// position, the op queue with its drain cursor, scalar registers, and
+// stream positions. Static structure (regions, strides, the visit
+// function) is rebuilt by constructing the same benchmark from the same
+// config, so it is not written.
+func (g *visitGen) SaveState(w *checkpoint.Writer) {
+	w.U64(g.rng.State())
+	w.Count(len(g.queue))
+	for _, op := range g.queue {
+		w.U8(uint8(op.Kind))
+		w.U64(op.Addr)
+		w.U64(uint64(op.Bytes))
+		w.Bool(op.Dep)
+	}
+	w.Int(g.head)
+	w.Count(len(g.regs))
+	for _, v := range g.regs {
+		w.U64(v)
+	}
+	w.Count(len(g.streams))
+	for _, s := range g.streams {
+		w.U64(s.pos)
+	}
+}
+
+// RestoreState decodes a SaveState payload into temporaries and returns a
+// commit that installs it; on error the generator is untouched.
+func (g *visitGen) RestoreState(r *checkpoint.Reader) (func(), error) {
+	rngState := r.U64()
+	queue := make([]cpu.Op, r.Count())
+	for i := range queue {
+		queue[i] = cpu.Op{
+			Kind:  cpu.OpKind(r.U8()),
+			Addr:  r.U64(),
+			Bytes: core.ByteMask(r.U64()),
+			Dep:   r.Bool(),
+		}
+	}
+	head := r.Int()
+	if n := r.Count(); n != len(g.regs) {
+		r.Fail("workload %s: %d registers, want %d", g.name, n, len(g.regs))
+	}
+	regs := make([]uint64, len(g.regs))
+	for i := range regs {
+		regs[i] = r.U64()
+	}
+	if n := r.Count(); n != len(g.streams) {
+		r.Fail("workload %s: %d streams, want %d", g.name, n, len(g.streams))
+	}
+	pos := make([]uint64, len(g.streams))
+	for i := range pos {
+		pos[i] = r.U64()
+		if i < len(g.streams) && pos[i] >= g.streams[i].region.lines() {
+			r.Fail("workload %s: stream %d position %d out of range", g.name, i, pos[i])
+		}
+	}
+	if head < 0 || head > len(queue) {
+		r.Fail("workload %s: queue head %d of %d", g.name, head, len(queue))
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return func() {
+		g.rng.SetState(rngState)
+		g.queue = queue
+		g.head = head
+		copy(g.regs, regs)
+		for i, s := range g.streams {
+			s.pos = pos[i]
+		}
+	}, nil
+}
 
 func (g *visitGen) Name() string { return g.name }
 

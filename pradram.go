@@ -93,6 +93,17 @@ func ParsePolicy(name string) (Policy, error) { return memctrl.ParsePolicy(name)
 // Mixes() (Table 4 combinations).
 func DefaultConfig(workload string) Config { return sim.DefaultConfig(workload) }
 
+// CheckpointStore persists warmup checkpoints on disk, keyed by warmup
+// fingerprint (prasim/praexp -ckpt-dir). See System.Checkpoint/Restore.
+type CheckpointStore = sim.CheckpointStore
+
+// NewCheckpointStore opens (lazily creating) a checkpoint directory.
+func NewCheckpointStore(dir string) *CheckpointStore { return sim.NewCheckpointStore(dir) }
+
+// WarmupFingerprint returns the checkpoint key of cfg's warmup phase and
+// whether the configuration supports warmup checkpointing at all.
+func WarmupFingerprint(cfg Config) (string, bool) { return sim.WarmupFingerprint(cfg) }
+
 // NewSystem assembles a simulator from a configuration.
 func NewSystem(cfg Config) (*System, error) { return sim.New(cfg) }
 

@@ -29,7 +29,21 @@
 // Measurements go to BENCH_speed.json, alongside a reference block with
 // the development-time absolute numbers against the pre-skipping tree.
 //
-// Usage: go run ./tools/benchgate [-speed] [-out FILE] [-count 5]
+// -warm switches to the warmup-checkpointing gate: it runs the paired
+// full-system internal/sim campaign benchmarks (four configurations
+// sharing one warmup fingerprint, with checkpoint reuse on and off) and
+// fails when either
+//
+//   - the campaign's cold/checkpoint ratio falls below the 1.3x floor
+//     (restoring a warmed snapshot stopped paying for itself), or
+//   - the single-run producer pair (warm + serialize + measure versus a
+//     monolithic run) exceeds its overhead ceiling — serializing the
+//     ~1.7 MB snapshot costs 1-3 ms regardless of run length, so a ratio
+//     past the ceiling means serialization grew with the run.
+//
+// Measurements go to BENCH_warm.json.
+//
+// Usage: go run ./tools/benchgate [-speed|-warm] [-out FILE] [-count 5]
 package main
 
 import (
@@ -55,6 +69,21 @@ const (
 	memBoundFull  = "BenchmarkSpeedMemBoundNoSkip"
 	compBoundSkip = "BenchmarkSpeedComputeBoundSkip"
 	compBoundFull = "BenchmarkSpeedComputeBoundNoSkip"
+)
+
+// Floors/ceilings for the -warm gate. The campaign floor is the feature's
+// contract (a warmup-dominated campaign must run at least 1.3x faster with
+// checkpoint reuse; ~2.1x measured at development time). The single-run
+// ceiling is looser than the -speed one because the producer pair carries
+// a real constant cost — serializing the snapshot, 1-3 ms against a
+// ~150 ms run — that sits near the host noise floor.
+const (
+	warmSpeedupFloor = 1.3
+	warmOverheadCeil = 1.10
+	warmCampCkpt     = "BenchmarkWarmCampaignCheckpoint"
+	warmCampCold     = "BenchmarkWarmCampaignCold"
+	warmSingleCkpt   = "BenchmarkWarmSingleCheckpoint"
+	warmSingleCold   = "BenchmarkWarmSingleCold"
 )
 
 type report struct {
@@ -87,6 +116,34 @@ type speedReport struct {
 	Reference speedRef `json:"reference_dev_measurements"`
 }
 
+type warmPair struct {
+	CkptNsOp float64 `json:"checkpoint_ns_op"`
+	ColdNsOp float64 `json:"cold_ns_op"`
+	Ratio    float64 `json:"cold_over_checkpoint"`
+}
+
+type warmReport struct {
+	Campaign     warmPair `json:"campaign"`   // 4 configs sharing one warmup fingerprint
+	Single       warmPair `json:"single_run"` // producer path vs monolithic run
+	SpeedupFloor float64  `json:"campaign_speedup_floor"`
+	OverheadCeil float64  `json:"single_run_overhead_ceiling"`
+	Count        int      `json:"count"`
+	Pass         bool     `json:"pass"`
+	// Reference records the development-time measurements that sized the
+	// gate (best of 5, single host). CI never compares against these —
+	// they are context for a human reading the artifact, not a baseline.
+	Reference warmRef `json:"reference_dev_measurements"`
+}
+
+type warmRef struct {
+	Host            string  `json:"host"`
+	CampaignCkptMs  float64 `json:"campaign_checkpoint_ms"`
+	CampaignColdMs  float64 `json:"campaign_cold_ms"`
+	CampaignSpeedup float64 `json:"campaign_speedup"`
+	CheckpointBytes int64   `json:"checkpoint_payload_bytes"`
+	SerializeMs     float64 `json:"checkpoint_serialize_ms"`
+}
+
 type speedRef struct {
 	Host             string  `json:"host"`
 	MemBoundSkipMs   float64 `json:"memory_bound_skip_ms"`
@@ -103,21 +160,32 @@ var benchLine = regexp.MustCompile(`(?m)^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+([0-9.
 
 func main() {
 	speed := flag.Bool("speed", false, "run the cycle-skipping speed gate instead of the telemetry-overhead gate")
-	out := flag.String("out", "", "where to write the measurement report (default BENCH_obs.json, or BENCH_speed.json with -speed)")
+	warm := flag.Bool("warm", false, "run the warmup-checkpointing speed gate instead of the telemetry-overhead gate")
+	out := flag.String("out", "", "where to write the measurement report (default BENCH_obs.json; BENCH_speed.json with -speed; BENCH_warm.json with -warm)")
 	count := flag.Int("count", 5, "benchmark repetitions (minimum is kept)")
 	flag.Parse()
+	if *speed && *warm {
+		fmt.Fprintln(os.Stderr, "benchgate: -speed and -warm are mutually exclusive")
+		os.Exit(1)
+	}
 	if *out == "" {
-		if *speed {
+		switch {
+		case *speed:
 			*out = "BENCH_speed.json"
-		} else {
+		case *warm:
+			*out = "BENCH_warm.json"
+		default:
 			*out = "BENCH_obs.json"
 		}
 	}
-	if *speed {
+	switch {
+	case *speed:
 		runSpeed(*out, *count)
-		return
+	case *warm:
+		runWarm(*out, *count)
+	default:
+		runObs(*out, *count)
 	}
-	runObs(*out, *count)
 }
 
 // runBench runs the named benchmarks in pkg count times at -benchtime 1x
@@ -201,6 +269,51 @@ func runSpeed(out string, count int) {
 		map[bool]string{true: "PASS", false: "FAIL"}[rep.Pass])
 	if !rep.Pass {
 		fmt.Fprintln(os.Stderr, "benchgate: cycle-skipping gate failed: either the fast-forward path lost its speedup on the memory-bound run, or its bookkeeping now taxes the compute-bound run")
+		os.Exit(1)
+	}
+}
+
+func runWarm(out string, count int) {
+	mins := runBench("BenchmarkWarm", "./internal/sim", count)
+	need := []string{warmCampCkpt, warmCampCold, warmSingleCkpt, warmSingleCold}
+	for _, n := range need {
+		if _, ok := mins[n]; !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: missing benchmark %s (parsed %v)\n", n, mins)
+			os.Exit(1)
+		}
+	}
+	rep := warmReport{
+		Campaign: warmPair{
+			CkptNsOp: mins[warmCampCkpt],
+			ColdNsOp: mins[warmCampCold],
+			Ratio:    mins[warmCampCold] / mins[warmCampCkpt],
+		},
+		Single: warmPair{
+			CkptNsOp: mins[warmSingleCkpt],
+			ColdNsOp: mins[warmSingleCold],
+			Ratio:    mins[warmSingleCold] / mins[warmSingleCkpt],
+		},
+		SpeedupFloor: warmSpeedupFloor,
+		OverheadCeil: warmOverheadCeil,
+		Count:        count,
+		Reference: warmRef{
+			Host:            "Intel Xeon @ 2.10GHz (development container)",
+			CampaignCkptMs:  142.7,
+			CampaignColdMs:  300.8,
+			CampaignSpeedup: 2.11,
+			CheckpointBytes: 1_658_243,
+			SerializeMs:     2.0,
+		},
+	}
+	rep.Pass = rep.Campaign.Ratio >= warmSpeedupFloor &&
+		rep.Single.CkptNsOp <= rep.Single.ColdNsOp*warmOverheadCeil
+	writeReport(out, rep)
+	fmt.Printf("benchgate: campaign %.1fms ckpt / %.1fms cold (%.2fx, floor %.1fx); single %.1fms ckpt / %.1fms cold (ceiling %.2fx) -> %s\n",
+		rep.Campaign.CkptNsOp/1e6, rep.Campaign.ColdNsOp/1e6, rep.Campaign.Ratio, warmSpeedupFloor,
+		rep.Single.CkptNsOp/1e6, rep.Single.ColdNsOp/1e6, warmOverheadCeil,
+		map[bool]string{true: "PASS", false: "FAIL"}[rep.Pass])
+	if !rep.Pass {
+		fmt.Fprintln(os.Stderr, "benchgate: warmup-checkpointing gate failed: either restoring a warmed snapshot no longer beats re-warming the campaign, or producing a snapshot now taxes a single run")
 		os.Exit(1)
 	}
 }
