@@ -69,6 +69,14 @@ func main() {
 		noskip       = flag.Bool("noskip", false, "disable event-driven cycle skipping (tick every CPU cycle; results are identical, runs are slower)")
 		ckptDir      = flag.String("ckpt-dir", "", "persist warmup checkpoints in this directory and restore matching ones instead of re-warming (results are identical)")
 
+		pdPolicy  = flag.String("pd-policy", "immediate", "power-down entry policy: immediate | none | timeout | queue")
+		pdTimeout = flag.Int64("pd-timeout", 200, "idle memory cycles before power-down entry (timeout/queue policies)")
+		srTimeout = flag.Int64("sr-timeout", 0, "idle memory cycles before self-refresh entry (0 = never)")
+		pdSlow    = flag.Bool("pd-slow", false, "use slow-exit (DLL-off) precharge power-down: lower IDD2P, tXPDLL exit")
+		apd       = flag.Bool("apd", false, "allow active power-down (CKE low with banks open) under the relaxed-close policy")
+		refMode   = flag.String("refresh-mode", "allbank", "refresh management: allbank | perbank | elastic")
+		powerCal  = flag.String("power-cal", "", "report calibrated energy bands: none | vendor | ghose[:pct] (empty = nominal only)")
+
 		epoch     = flag.Int64("epoch", 100_000, "telemetry sampling epoch in DRAM cycles (used with -timeline / -http)")
 		timeline  = flag.String("timeline", "", "write the per-epoch time-series to this file (.json for JSON, else CSV)")
 		eventsLvl = flag.String("events", "off", "structured event trace: off | state | cmd")
@@ -88,6 +96,14 @@ func main() {
 		fatal(err)
 	}
 	policy, err := pradram.ParsePolicy(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	pd, err := pradram.ParsePDPolicy(*pdPolicy)
+	if err != nil {
+		fatal(err)
+	}
+	rm, err := pradram.ParseRefreshMode(*refMode)
 	if err != nil {
 		fatal(err)
 	}
@@ -115,6 +131,13 @@ func main() {
 		cfg.ActiveCores = *cores
 		cfg.Seed = *seed
 		cfg.NoSkip = *noskip
+		cfg.PDPolicy = pd
+		cfg.PDTimeout = *pdTimeout
+		cfg.SRTimeout = *srTimeout
+		cfg.PDSlowExit = *pdSlow
+		cfg.APD = *apd
+		cfg.RefreshMode = rm
+		cfg.PowerCal = *powerCal
 		cfg.Obs = obsCfg
 		cfgs[i] = cfg
 		if systems[i], err = pradram.NewSystem(cfg); err != nil {
@@ -307,6 +330,16 @@ func report(w io.Writer, res pradram.Result) {
 	mem.Row("avg act granularity", fmt.Sprintf("%.2f/8", res.Dev.AvgGranularity()))
 	mem.Row("write words on bus", fmt.Sprintf("%d of %d", res.Dev.WordsWritten, res.Dev.WordBudget))
 	mem.Row("refreshes", res.Dev.Refreshes)
+	if res.Dev.PerBankRefreshes > 0 {
+		mem.Row("per-bank refreshes", res.Dev.PerBankRefreshes)
+	}
+	if res.Dev.PostponedRefreshes > 0 || res.Dev.PulledInRefreshes > 0 {
+		mem.Row("postponed/pulled-in", fmt.Sprintf("%d/%d", res.Dev.PostponedRefreshes, res.Dev.PulledInRefreshes))
+	}
+	mem.Row("low-power residency", fmt.Sprintf("%.1f%%", 100*res.LowPowerResidency()))
+	if res.Dev.SelfRefEntries > 0 {
+		mem.Row("self-refresh residency", fmt.Sprintf("%.1f%%", 100*res.SelfRefreshResidency()))
+	}
 	fmt.Fprintln(w, mem.String())
 
 	gran := stats.NewTable("granularity", "share")
@@ -323,6 +356,10 @@ func report(w io.Writer, res pradram.Result) {
 	pw.Row("TOTAL", tot/1e6, "100%")
 	fmt.Fprintln(w, pw.String())
 	fmt.Fprintf(w, "avg DRAM power %.1f mW   EDP %.3g pJ*ns\n", res.AvgPowerMW(), res.EDP())
+	if band := res.PowerBandMW(); res.Cal.Name != "" && res.Cal.Name != "none" {
+		fmt.Fprintf(w, "calibrated power band (%s): %.1f / %.1f / %.1f mW (min/nom/max, %.1f%% spread)\n",
+			res.Cal.Name, band.Min, band.Nom, band.Max, 100*band.Spread())
+	}
 }
 
 // jsonReport is the machine-readable output shape of -json.
@@ -351,6 +388,16 @@ type jsonReport struct {
 	EnergyPJ   map[string]float64 `json:"energy_pj"`
 	AvgPowerMW float64            `json:"avg_power_mw"`
 	EDP        float64            `json:"edp_pj_ns"`
+
+	Refreshes          int64   `json:"refreshes"`
+	PerBankRefreshes   int64   `json:"perbank_refreshes,omitempty"`
+	PostponedRefreshes int64   `json:"postponed_refreshes,omitempty"`
+	PulledInRefreshes  int64   `json:"pulledin_refreshes,omitempty"`
+	LowPowerResidency  float64 `json:"low_power_residency"`
+	SelfRefResidency   float64 `json:"selfref_residency"`
+
+	PowerCal    string      `json:"power_cal,omitempty"`
+	PowerBandMW *[3]float64 `json:"power_band_mw,omitempty"` // min, nominal, max
 }
 
 func emitJSON(w io.Writer, res pradram.Result) error {
@@ -378,6 +425,18 @@ func emitJSON(w io.Writer, res pradram.Result) error {
 		EnergyPJ:   make(map[string]float64, int(power.NumComponents)),
 		AvgPowerMW: res.AvgPowerMW(),
 		EDP:        res.EDP(),
+
+		Refreshes:          res.Dev.Refreshes,
+		PerBankRefreshes:   res.Dev.PerBankRefreshes,
+		PostponedRefreshes: res.Dev.PostponedRefreshes,
+		PulledInRefreshes:  res.Dev.PulledInRefreshes,
+		LowPowerResidency:  res.LowPowerResidency(),
+		SelfRefResidency:   res.SelfRefreshResidency(),
+	}
+	if res.Cal.Name != "" && res.Cal.Name != "none" {
+		band := res.PowerBandMW()
+		rep.PowerCal = res.Cal.Name
+		rep.PowerBandMW = &[3]float64{band.Min, band.Nom, band.Max}
 	}
 	for g := 1; g <= 8; g++ {
 		rep.GranShares = append(rep.GranShares, res.GranularityShare(g))

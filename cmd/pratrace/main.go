@@ -36,8 +36,31 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "workload seed")
 		noskip       = flag.Bool("noskip", false, "disable event-driven cycle skipping in both record and replay (identical results, slower runs)")
 		httpAddr     = flag.String("http", "", "serve pprof introspection on this address (e.g. :6060)")
+
+		pdPolicyName = flag.String("pd-policy", "immediate", "power-down entry policy: immediate | none | timeout | queue")
+		pdTimeout    = flag.Int64("pd-timeout", 200, "idle memory cycles before power-down entry (timeout/queue policies)")
+		srTimeout    = flag.Int64("sr-timeout", 0, "idle memory cycles before self-refresh entry (0 = never)")
+		pdSlow       = flag.Bool("pd-slow", false, "use slow-exit (DLL-off) precharge power-down")
+		apd          = flag.Bool("apd", false, "allow active power-down (CKE low with banks open)")
+		refModeName  = flag.String("refresh-mode", "allbank", "refresh management: allbank | perbank | elastic")
 	)
 	flag.Parse()
+
+	pdPolicy, err := pradram.ParsePDPolicy(*pdPolicyName)
+	if err != nil {
+		fatal(err)
+	}
+	refMode, err := pradram.ParseRefreshMode(*refModeName)
+	if err != nil {
+		fatal(err)
+	}
+	// lowPower is the power-management configuration both the record and
+	// replay paths apply — the recorded trace's timing and every replay's
+	// scheduling honour the same FSMs.
+	lowPower := lowPowerFlags{
+		policy: pdPolicy, pdTimeout: *pdTimeout, srTimeout: *srTimeout,
+		slowExit: *pdSlow, apd: *apd, refMode: refMode,
+	}
 
 	if *httpAddr != "" {
 		go func() {
@@ -49,11 +72,11 @@ func main() {
 
 	switch {
 	case *record != "":
-		if err := doRecord(*record, *workloadName, *instr, *warmup, *seed, *noskip); err != nil {
+		if err := doRecord(*record, *workloadName, *instr, *warmup, *seed, *noskip, lowPower); err != nil {
 			fatal(err)
 		}
 	case *replay != "":
-		if err := doReplay(*replay, *schemeName, *policyName, *compare, *noskip); err != nil {
+		if err := doReplay(*replay, *schemeName, *policyName, *compare, *noskip, lowPower); err != nil {
 			fatal(err)
 		}
 	default:
@@ -62,13 +85,41 @@ func main() {
 	}
 }
 
-func doRecord(path, workloadName string, instr, warmup int64, seed uint64, noskip bool) error {
+// lowPowerFlags carries the power-down and refresh-management flags to the
+// record and replay paths.
+type lowPowerFlags struct {
+	policy               pradram.PDPolicy
+	pdTimeout, srTimeout int64
+	slowExit, apd        bool
+	refMode              pradram.RefreshMode
+}
+
+func (l lowPowerFlags) applySim(cfg *pradram.Config) {
+	cfg.PDPolicy = l.policy
+	cfg.PDTimeout = l.pdTimeout
+	cfg.SRTimeout = l.srTimeout
+	cfg.PDSlowExit = l.slowExit
+	cfg.APD = l.apd
+	cfg.RefreshMode = l.refMode
+}
+
+func (l lowPowerFlags) applyCtrl(cfg *memctrl.Config) {
+	cfg.PDPolicy = l.policy
+	cfg.PDTimeout = l.pdTimeout
+	cfg.SRTimeout = l.srTimeout
+	cfg.PDSlowExit = l.slowExit
+	cfg.APD = l.apd
+	cfg.RefreshMode = l.refMode
+}
+
+func doRecord(path, workloadName string, instr, warmup int64, seed uint64, noskip bool, lp lowPowerFlags) error {
 	cfg := pradram.DefaultConfig(workloadName)
 	cfg.InstrPerCore = instr
 	cfg.WarmupPerCore = warmup
 	cfg.Seed = seed
 	cfg.Capture = true
 	cfg.NoSkip = noskip
+	lp.applySim(&cfg)
 	sys, err := sim.New(cfg)
 	if err != nil {
 		return err
@@ -91,7 +142,7 @@ func doRecord(path, workloadName string, instr, warmup int64, seed uint64, noski
 	return f.Sync()
 }
 
-func doReplay(path, schemeName, policyName string, compare, noskip bool) error {
+func doReplay(path, schemeName, policyName string, compare, noskip bool, lp lowPowerFlags) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -110,6 +161,7 @@ func doReplay(path, schemeName, policyName string, compare, noskip bool) error {
 		if p == memctrl.RestrictedClose {
 			cfg.Mapping = memctrl.LineInterleaved
 		}
+		lp.applyCtrl(&cfg)
 		return trace.ReplayWith(tr, cfg, trace.ReplayOpts{NoSkip: noskip})
 	}
 

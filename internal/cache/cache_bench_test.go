@@ -9,7 +9,7 @@ import (
 // nullMem accepts everything and completes fills immediately.
 type nullMem struct{}
 
-func (nullMem) Read(addr uint64, done core.Done) bool { done.Fn(0); return true }
+func (nullMem) Read(addr uint64, done core.Done) bool      { done.Fn(0); return true }
 func (nullMem) Write(addr uint64, mask core.ByteMask) bool { return true }
 
 func BenchmarkL1HitLoad(b *testing.B) {

@@ -11,10 +11,11 @@ import (
 // rank-to-rank / turnaround gap.
 type BusDir uint8
 
+// The data-bus directions.
 const (
-	BusIdle BusDir = iota
-	BusRead
-	BusWrite
+	BusIdle  BusDir = iota // no transfer yet
+	BusRead                // last transfer drove read data
+	BusWrite               // last transfer drove write data
 )
 
 type bankState struct {
@@ -41,16 +42,19 @@ type rankState struct {
 	rdAfterWr   int64 // tWTR: write burst end to next read command
 	faw         []fawEntry
 	refUntil    int64 // end of an in-flight refresh
-	nextRefresh int64
-	poweredDown bool
-	pdExit      int64 // power-down exit: no command before this cycle (tXP)
+	nextRefresh int64 // next external refresh deadline (suspended in self-refresh)
+	refBank     int   // next REFpb target bank (per-bank refresh round-robin)
+	pd          PDState
+	pdEnteredAt int64 // cycle the current power-down state was entered
+	pdExit      int64 // power-down exit: no command before this cycle (tXP/tXPDLL/tXS)
+	pdReady     int64 // earliest next power-down entry (tCKE after the last wake)
 	openCount   int
 
 	// bgFrom is the first cycle whose background energy has not been
 	// accrued yet. Background accounting is lazy: spans of constant rank
 	// state are charged in one multiply when the state changes (any
-	// command that touches poweredDown/openCount/refUntil) or when a
-	// probe flushes (AdvanceTo). Span boundaries are command and probe
+	// command that touches pd/openCount/refUntil) or when a probe
+	// flushes (AdvanceTo). Span boundaries are command and probe
 	// cycles only — never tick cycles — so per-cycle and fast-forwarded
 	// operation produce bit-identical energy sums.
 	bgFrom int64
@@ -64,12 +68,31 @@ type Stats struct {
 	Reads             int64
 	Writes            int64
 	Precharges        int64
-	Refreshes         int64
-	PowerDownCycles   int64
+	// Refreshes counts all-bank REF commands; PerBankRefreshes counts
+	// REFpb commands (per-bank refresh mode).
+	Refreshes        int64
+	PerBankRefreshes int64
+	// PostponedRefreshes counts refreshes issued at least one full
+	// interval past their nominal deadline (debt >= 2 intervals at issue);
+	// PulledInRefreshes counts refreshes issued ahead of their deadline.
+	// Both stay within the JEDEC 8x tREFI elasticity window.
+	PostponedRefreshes int64
+	PulledInRefreshes  int64
+	// SelfRefEntries counts transitions into self-refresh.
+	SelfRefEntries int64
+	// PowerDownCycles counts fast-exit precharge power-down rank-cycles
+	// (the only power-down state of the pre-FSM simulator; the name is
+	// kept for report compatibility).
+	PowerDownCycles int64
+	// ActivePDCycles, SlowPDCycles, and SelfRefCycles count rank-cycles in
+	// active power-down, slow-exit precharge power-down, and self-refresh.
+	ActivePDCycles int64
+	SlowPDCycles   int64
+	SelfRefCycles  int64
 	// Rank-state occupancy in rank-cycles (one count per rank per memory
-	// cycle): together with PowerDownCycles they partition total
-	// rank-cycles and feed the analytic power calculator's background
-	// fractions.
+	// cycle): together with the four power-down counters above they
+	// partition total rank-cycles and feed the analytic power
+	// calculator's background fractions.
 	ActiveRankCycles     int64
 	PrechargedRankCycles int64
 	// WordsWritten / WordBudget track the write I/O utilization: words
@@ -86,6 +109,18 @@ func (s Stats) Activations() int64 {
 		n += c
 	}
 	return n
+}
+
+// LowPowerCycles returns the rank-cycles spent with CKE low, summed over
+// all four power-down states.
+func (s Stats) LowPowerCycles() int64 {
+	return s.PowerDownCycles + s.ActivePDCycles + s.SlowPDCycles + s.SelfRefCycles
+}
+
+// TotalRankCycles returns the rank-cycle occupancy total across every
+// background state (the denominator for residency fractions).
+func (s Stats) TotalRankCycles() int64 {
+	return s.ActiveRankCycles + s.PrechargedRankCycles + s.LowPowerCycles()
 }
 
 // AvgGranularity returns the average activation granularity in eighths
@@ -123,6 +158,19 @@ type Channel struct {
 	// how much of PRA's behaviour comes from the relaxed timing
 	// constraints of Section 4.1.3.
 	NoWeightedFAW bool
+
+	// SlowExitPD makes EnterPowerDown use the slow-exit (DLL-off)
+	// precharge power-down state: lower standby power, tXPDLL exit.
+	SlowExitPD bool
+
+	// RefMode selects the refresh discipline (all-bank vs per-bank).
+	RefMode RefreshMode
+
+	// MaxPostpone is how many refresh intervals a refresh may be postponed
+	// or pulled in (the JEDEC DDR3 elasticity is 8). 0 disables both:
+	// refreshes are due exactly at their nominal deadline, as in the
+	// pre-FSM simulator.
+	MaxPostpone int
 
 	// Trace, when non-nil, receives every issued command in issue order
 	// (see CmdEvent). Used for command-level debugging, golden-trace
@@ -207,9 +255,6 @@ func (c *Channel) ResetStats() {
 // BankCounts returns the per-bank command tally of bank (r,b).
 func (c *Channel) BankCounts(r, b int) BankCount { return c.perBank[r*c.G.Banks+b] }
 
-// PoweredDown reports whether rank r is in precharge power-down.
-func (c *Channel) PoweredDown(r int) bool { return c.rank(r).poweredDown }
-
 // Clock advances the channel's accounting clock without accruing anything;
 // background spans stay pending until the next state change or flush. The
 // controller calls it at the top of every memory tick, so commands always
@@ -263,9 +308,18 @@ func (c *Channel) flushBG(rk *rankState) {
 	}
 	n := end - t
 	switch {
-	case rk.poweredDown:
+	case rk.pd == PDPrechargeFast:
 		c.Stats.PowerDownCycles += n
 		c.Acc.Background(power.RankPoweredDown, tck*float64(n))
+	case rk.pd == PDActive:
+		c.Stats.ActivePDCycles += n
+		c.Acc.Background(power.RankActivePD, tck*float64(n))
+	case rk.pd == PDPrechargeSlow:
+		c.Stats.SlowPDCycles += n
+		c.Acc.Background(power.RankPoweredDownSlow, tck*float64(n))
+	case rk.pd == PDSelfRefresh:
+		c.Stats.SelfRefCycles += n
+		c.Acc.Background(power.RankSelfRefresh, tck*float64(n))
 	case rk.openCount > 0:
 		c.Stats.ActiveRankCycles += n
 		c.Acc.Background(power.RankActive, tck*float64(n))
@@ -275,12 +329,23 @@ func (c *Channel) flushBG(rk *rankState) {
 	}
 }
 
+// neverRefresh is the refresh-horizon sentinel for ranks that owe no
+// external refresh (self-refreshing ranks). Far enough that it never
+// constrains a sleep horizon, small enough that adding offsets cannot
+// overflow.
+const neverRefresh = int64(1) << 62
+
 // NextRefreshAny returns the earliest scheduled refresh deadline across
 // all ranks — the channel-level bound the controller folds into its sleep
 // horizon (a sleeping channel must still wake to refresh on time).
+// Self-refreshing ranks owe no external refresh and are skipped; if every
+// rank self-refreshes the result is the neverRefresh sentinel.
 func (c *Channel) NextRefreshAny() int64 {
-	earliest := c.ranks[0].nextRefresh
-	for r := 1; r < len(c.ranks); r++ {
+	earliest := neverRefresh
+	for r := range c.ranks {
+		if c.ranks[r].pd == PDSelfRefresh {
+			continue
+		}
 		if at := c.ranks[r].nextRefresh; at < earliest {
 			earliest = at
 		}
@@ -311,20 +376,6 @@ func (c *Channel) fawReadyAt(rk *rankState, w float64) int64 {
 	return at
 }
 
-// Wake takes rank r out of precharge power-down. The rank accepts no
-// command before now + tXP. Waking an already-awake rank is a no-op. The
-// controller must wake a rank before issuing to it; readiness queries on a
-// still-powered-down rank report as if the wake were issued now.
-func (c *Channel) Wake(now int64, r int) {
-	rk := c.rank(r)
-	if !rk.poweredDown {
-		return
-	}
-	c.flushBG(rk)
-	rk.poweredDown = false
-	rk.pdExit = max(rk.pdExit, now+int64(c.T.TXP))
-}
-
 // ActReadyAt returns the earliest cycle >= now at which an ACT of the given
 // mask may be issued to bank (r,b). For a rank still in power-down, the
 // result assumes a Wake issued at the query time.
@@ -334,11 +385,7 @@ func (c *Channel) ActReadyAt(now int64, r, b int, mask core.Mask, halfDRAM bool)
 	if c.NoWeightedFAW {
 		w = 1
 	}
-	at := max(now, bk.actAllowed, rk.rrdAllowed, c.fawReadyAt(rk, w), rk.refUntil, c.cmdFree, rk.pdExit)
-	if rk.poweredDown {
-		at = max(at, now+int64(c.T.TXP))
-	}
-	return at
+	return max(now, bk.actAllowed, rk.rrdAllowed, c.fawReadyAt(rk, w), rk.refUntil, c.cmdFree, c.pdExitAt(rk, now))
 }
 
 // Activate opens (part of) a row. mask selects the MAT groups; FullMask is
@@ -352,8 +399,8 @@ func (c *Channel) Activate(at int64, r, b, row int, mask core.Mask, halfDRAM boo
 		return fmt.Errorf("dram: row %d out of range", row)
 	}
 	rk, bk := c.rank(r), c.bank(r, b)
-	if rk.poweredDown {
-		return fmt.Errorf("dram: ACT to powered-down rank %d (Wake it first)", r)
+	if rk.pd != PDAwake {
+		return fmt.Errorf("dram: ACT to rank %d in %v (Wake it first)", r, rk.pd)
 	}
 	if ready := c.ActReadyAt(at, r, b, mask, halfDRAM); at < ready {
 		return fmt.Errorf("dram: ACT at %d before ready %d (rank %d bank %d)", at, ready, r, b)
@@ -414,7 +461,7 @@ func (c *Channel) busStart(wantStart int64, d BusDir, r int) int64 {
 // of burstCycles from bank (r,b).
 func (c *Channel) ReadReadyAt(now int64, r, b, burstCycles int) int64 {
 	rk, bk := c.rank(r), c.bank(r, b)
-	at := max(now, bk.rdAllowed, rk.colAllowed, rk.rdAfterWr, rk.refUntil, c.cmdFree)
+	at := max(now, bk.rdAllowed, rk.colAllowed, rk.rdAfterWr, rk.refUntil, c.cmdFree, c.pdExitAt(rk, now))
 	// The data phase must fit the bus: command time is data start - CL.
 	start := c.busStart(at+int64(c.T.TCAS), BusRead, r)
 	return start - int64(c.T.TCAS)
@@ -428,6 +475,9 @@ func (c *Channel) ReadReadyAt(now int64, r, b, burstCycles int) int64 {
 // the same bits.
 func (c *Channel) Read(at int64, r, b, burstCycles int, frac float64, autoPre bool) (done int64, err error) {
 	rk, bk := c.rank(r), c.bank(r, b)
+	if rk.pd != PDAwake {
+		return 0, fmt.Errorf("dram: RD to rank %d in %v (Wake it first)", r, rk.pd)
+	}
 	if !bk.open {
 		return 0, fmt.Errorf("dram: RD to closed bank %d/%d", r, b)
 	}
@@ -458,7 +508,7 @@ func (c *Channel) Read(at int64, r, b, burstCycles int, frac float64, autoPre bo
 // WriteReadyAt returns the earliest command cycle >= now for a column write.
 func (c *Channel) WriteReadyAt(now int64, r, b, burstCycles int) int64 {
 	rk, bk := c.rank(r), c.bank(r, b)
-	at := max(now, bk.wrAllowed, rk.colAllowed, rk.refUntil, c.cmdFree)
+	at := max(now, bk.wrAllowed, rk.colAllowed, rk.refUntil, c.cmdFree, c.pdExitAt(rk, now))
 	start := c.busStart(at+int64(c.T.CWL), BusWrite, r)
 	return start - int64(c.T.CWL)
 }
@@ -468,6 +518,9 @@ func (c *Channel) WriteReadyAt(now int64, r, b, burstCycles int) int64 {
 // burst completes on the bus.
 func (c *Channel) Write(at int64, r, b, burstCycles int, frac float64, autoPre bool) (done int64, err error) {
 	rk, bk := c.rank(r), c.bank(r, b)
+	if rk.pd != PDAwake {
+		return 0, fmt.Errorf("dram: WR to rank %d in %v (Wake it first)", r, rk.pd)
+	}
 	if !bk.open {
 		return 0, fmt.Errorf("dram: WR to closed bank %d/%d", r, b)
 	}
@@ -493,16 +546,21 @@ func (c *Channel) Write(at int64, r, b, burstCycles int, frac float64, autoPre b
 	return end, nil
 }
 
-// PreReadyAt returns the earliest cycle a precharge may be issued.
+// PreReadyAt returns the earliest cycle a precharge may be issued. For a
+// rank in active power-down, the result assumes a Wake issued at the query
+// time.
 func (c *Channel) PreReadyAt(now int64, r, b int) int64 {
-	bk := c.bank(r, b)
-	return max(now, bk.preAllowed, c.rank(r).refUntil, c.cmdFree)
+	rk, bk := c.rank(r), c.bank(r, b)
+	return max(now, bk.preAllowed, rk.refUntil, c.cmdFree, c.pdExitAt(rk, now))
 }
 
 // Precharge closes the bank's row. The ACT-PRE pair energy was charged at
 // activation (the Micron model folds both into P_ACT over tRC).
 func (c *Channel) Precharge(at int64, r, b int) error {
 	rk, bk := c.rank(r), c.bank(r, b)
+	if rk.pd != PDAwake {
+		return fmt.Errorf("dram: PRE to rank %d in %v (Wake it first)", r, rk.pd)
+	}
 	if !bk.open {
 		return fmt.Errorf("dram: PRE to closed bank %d/%d", r, b)
 	}
@@ -525,11 +583,66 @@ func (c *Channel) closeBank(r, b int, rk *rankState, bk *bankState, preAt int64)
 	c.perBank[r*c.G.Banks+b].Pre++
 }
 
-// RefreshDue reports whether rank r owes a refresh at cycle now.
-func (c *Channel) RefreshDue(now int64, r int) bool { return c.rank(r).nextRefresh <= now }
+// refInterval returns the nominal cycles between refresh commands: tREFI
+// for all-bank refresh, tREFI/banks for the per-bank round-robin.
+func (c *Channel) refInterval() int64 {
+	if c.RefMode == RefPerBank {
+		return int64(c.T.TREFI) / int64(c.G.Banks)
+	}
+	return int64(c.T.TREFI)
+}
 
-// NextRefreshAt returns the cycle rank r's next refresh falls due.
-func (c *Channel) NextRefreshAt(r int) int64 { return c.rank(r).nextRefresh }
+// postponeWindow returns the refresh elasticity in cycles: how far past
+// (or ahead of) its nominal deadline a refresh may issue.
+func (c *Channel) postponeWindow() int64 {
+	return int64(c.MaxPostpone) * c.refInterval()
+}
+
+// RefreshDue reports whether rank r owes a refresh at cycle now. A
+// self-refreshing rank never owes an external refresh.
+func (c *Channel) RefreshDue(now int64, r int) bool {
+	rk := c.rank(r)
+	return rk.pd != PDSelfRefresh && rk.nextRefresh <= now
+}
+
+// RefreshMust reports whether rank r's refresh can no longer be postponed:
+// the nominal deadline plus the full elasticity window has passed. With
+// MaxPostpone = 0 it coincides with RefreshDue.
+func (c *Channel) RefreshMust(now int64, r int) bool {
+	rk := c.rank(r)
+	return rk.pd != PDSelfRefresh && rk.nextRefresh+c.postponeWindow() <= now
+}
+
+// CanPullIn reports whether rank r may issue a refresh ahead of its
+// nominal deadline at cycle now without exceeding the pull-in credit of
+// MaxPostpone intervals.
+func (c *Channel) CanPullIn(now int64, r int) bool {
+	if c.MaxPostpone == 0 {
+		return false
+	}
+	rk := c.rank(r)
+	return rk.pd != PDSelfRefresh && rk.nextRefresh-now < c.postponeWindow()
+}
+
+// NextRefreshAt returns the cycle rank r's next refresh falls due
+// (neverRefresh while the rank self-refreshes).
+func (c *Channel) NextRefreshAt(r int) int64 {
+	rk := c.rank(r)
+	if rk.pd == PDSelfRefresh {
+		return neverRefresh
+	}
+	return rk.nextRefresh
+}
+
+// MustRefreshAt returns the cycle rank r's next refresh stops being
+// postponable — its hard deadline under the elasticity window.
+func (c *Channel) MustRefreshAt(r int) int64 {
+	rk := c.rank(r)
+	if rk.pd == PDSelfRefresh {
+		return neverRefresh
+	}
+	return rk.nextRefresh + c.postponeWindow()
+}
 
 // RefreshReadyAt returns the earliest cycle a REF may be issued to rank r;
 // all banks must be precharged first (the controller is responsible for
@@ -540,24 +653,39 @@ func (c *Channel) RefreshReadyAt(now int64, r int) (int64, bool) {
 	if rk.openCount > 0 {
 		return 0, false
 	}
-	at := max(now, rk.refUntil, c.cmdFree, rk.pdExit)
+	at := max(now, rk.refUntil, c.cmdFree, c.pdExitAt(rk, now))
 	for b := range rk.banks {
 		// tRP from the last precharge must have elapsed; actAllowed
 		// tracks exactly that for a closed bank.
 		at = max(at, rk.banks[b].actAllowed)
 	}
-	if rk.poweredDown {
-		at = max(at, now+int64(c.T.TXP))
-	}
 	return at, true
 }
 
-// Refresh issues a REF to rank r, blocking it for tRFC. The rank must have
-// been woken from power-down first.
+// refreshElasticity validates a refresh issue cycle against the pull-in
+// credit and updates the postpone/pull-in counters.
+func (c *Channel) refreshElasticity(at int64, rk *rankState) error {
+	if ahead := rk.nextRefresh - at; ahead > 0 {
+		if ahead >= c.postponeWindow() {
+			return fmt.Errorf("dram: refresh pull-in at %d exceeds the %dx interval credit (deadline %d)",
+				at, c.MaxPostpone, rk.nextRefresh)
+		}
+		c.Stats.PulledInRefreshes++
+	} else if at >= rk.nextRefresh+c.refInterval() {
+		c.Stats.PostponedRefreshes++
+	}
+	return nil
+}
+
+// Refresh issues an all-bank REF to rank r, blocking it for tRFC. The rank
+// must have been woken from power-down first, and all banks precharged.
 func (c *Channel) Refresh(at int64, r int) error {
 	rk := c.rank(r)
-	if rk.poweredDown {
-		return fmt.Errorf("dram: REF to powered-down rank %d (Wake it first)", r)
+	if rk.pd != PDAwake {
+		return fmt.Errorf("dram: REF to rank %d in %v (Wake it first)", r, rk.pd)
+	}
+	if c.RefMode == RefPerBank {
+		return fmt.Errorf("dram: all-bank REF on a per-bank refresh channel (use RefreshBank)")
 	}
 	ready, ok := c.RefreshReadyAt(at, r)
 	if !ok {
@@ -566,9 +694,12 @@ func (c *Channel) Refresh(at int64, r int) error {
 	if at < ready {
 		return fmt.Errorf("dram: REF at %d before ready %d", at, ready)
 	}
+	if err := c.refreshElasticity(at, rk); err != nil {
+		return err
+	}
 	c.flushBG(rk)
 	rk.refUntil = at + int64(c.T.TRFC)
-	rk.nextRefresh += int64(c.T.TREFI)
+	rk.nextRefresh += c.refInterval()
 	for b := range rk.banks {
 		rk.banks[b].actAllowed = max(rk.banks[b].actAllowed, rk.refUntil)
 	}
@@ -579,12 +710,55 @@ func (c *Channel) Refresh(at int64, r int) error {
 	return nil
 }
 
-// PowerDown puts rank r into precharge power-down. It is a no-op if banks
-// are open or a refresh is in flight.
-func (c *Channel) PowerDown(now int64, r int) {
+// NextRefreshBank returns the bank a per-bank refresh of rank r targets
+// next (the round-robin cursor).
+func (c *Channel) NextRefreshBank(r int) int { return c.rank(r).refBank }
+
+// RefreshBankReadyAt returns the earliest cycle a REFpb may be issued to
+// rank r's round-robin target bank; that bank must be precharged first
+// (ok = false while it holds an open row). Other banks keep operating. For
+// a rank still in power-down, the result assumes a Wake issued at the
+// query time.
+func (c *Channel) RefreshBankReadyAt(now int64, r int) (int64, bool) {
 	rk := c.rank(r)
-	if rk.openCount == 0 && rk.refUntil <= now && !rk.poweredDown {
-		c.flushBG(rk)
-		rk.poweredDown = true
+	bk := &rk.banks[rk.refBank]
+	if bk.open {
+		return 0, false
 	}
+	return max(now, rk.refUntil, c.cmdFree, bk.actAllowed, c.pdExitAt(rk, now)), true
+}
+
+// RefreshBank issues a per-bank REFpb to rank r's round-robin target bank,
+// blocking only that bank for tRFCpb and advancing the refresh deadline by
+// tREFI/banks. The refresh energy is charged at 1/banks of the all-bank
+// refresh power over tRFCpb (one bank's rows refresh at a time).
+func (c *Channel) RefreshBank(at int64, r int) error {
+	rk := c.rank(r)
+	if rk.pd != PDAwake {
+		return fmt.Errorf("dram: REFpb to rank %d in %v (Wake it first)", r, rk.pd)
+	}
+	if c.RefMode != RefPerBank {
+		return fmt.Errorf("dram: REFpb on an all-bank refresh channel")
+	}
+	b := rk.refBank
+	ready, ok := c.RefreshBankReadyAt(at, r)
+	if !ok {
+		return fmt.Errorf("dram: REFpb to rank %d bank %d with an open row", r, b)
+	}
+	if at < ready {
+		return fmt.Errorf("dram: REFpb at %d before ready %d", at, ready)
+	}
+	if err := c.refreshElasticity(at, rk); err != nil {
+		return err
+	}
+	c.flushBG(rk)
+	bk := &rk.banks[b]
+	bk.actAllowed = max(bk.actAllowed, at+int64(c.T.TRFCPB))
+	rk.nextRefresh += c.refInterval()
+	rk.refBank = (b + 1) % c.G.Banks
+	c.cmdFree = at + 1
+	c.Acc.Refresh(float64(c.T.TRFCPB) * c.T.TCKNs / float64(c.G.Banks))
+	c.Stats.PerBankRefreshes++
+	c.emit(CmdEvent{At: at, Kind: CmdRef, Rank: r, Bank: b})
+	return nil
 }

@@ -22,8 +22,12 @@ type Timing struct {
 	TWTR   int // end of write burst to read command
 	TRTRS  int // rank-to-rank data-bus switch
 	TREFI  int // refresh interval
-	TRFC   int // refresh cycle time
-	TXP    int // power-down exit to first command
+	TRFC   int // refresh cycle time (all-bank REF)
+	TRFCPB int // per-bank refresh cycle time (REFpb blocks one bank)
+	TXP    int // fast power-down exit to first command (DLL on)
+	TXPDLL int // slow precharge power-down exit (DLL frozen) to first command
+	TXS    int // self-refresh exit to first command
+	TCKE   int // minimum CKE pulse width (residency in/out of power-down)
 
 	// PRAMaskCycles is the extra command-cycle cost of a partial
 	// activation: the PRA mask rides the address bus the cycle after the
@@ -33,8 +37,9 @@ type Timing struct {
 }
 
 // DefaultTiming returns the DDR3-1600 parameters from Table 3, with the
-// secondary parameters (CWL, tRTP, tWTR, tRTRS, tREFI, tRFC, tXP) set to
-// standard DDR3-1600 datasheet values the paper does not list explicitly.
+// secondary parameters (CWL, tRTP, tWTR, tRTRS, tREFI, tRFC, tXP, and the
+// power-down/self-refresh set tXPDLL, tXS, tCKE, tRFCpb) set to standard
+// DDR3-1600 datasheet values the paper does not list explicitly.
 func DefaultTiming() Timing {
 	return Timing{
 		TCKNs:         1.25,
@@ -54,7 +59,11 @@ func DefaultTiming() Timing {
 		TRTRS:         2,
 		TREFI:         6240, // 7.8 us
 		TRFC:          128,  // 160 ns for a 2Gb device
-		TXP:           5,
+		TRFCPB:        72,   // 90 ns: per-bank refresh blocks one bank
+		TXP:           5,    // 6 ns fast power-down exit
+		TXPDLL:        20,   // 24 ns slow (DLL-off) precharge power-down exit
+		TXS:           136,  // tRFC + 10 ns: self-refresh exit
+		TCKE:          4,    // 5 ns minimum CKE pulse width
 		PRAMaskCycles: 1,
 	}
 }
@@ -72,6 +81,14 @@ func (t Timing) Validate() error {
 		return fmt.Errorf("dram: TFAW (%d) < TRRD (%d)", t.TFAW, t.TRRD)
 	case t.TREFI <= t.TRFC:
 		return fmt.Errorf("dram: TREFI (%d) must exceed TRFC (%d)", t.TREFI, t.TRFC)
+	case t.TXP < 0 || t.TXPDLL < 0 || t.TXS < 0 || t.TCKE < 0 || t.TRFCPB < 0:
+		return fmt.Errorf("dram: power-down/refresh timings must be non-negative")
+	case t.TXPDLL != 0 && t.TXPDLL < t.TXP:
+		return fmt.Errorf("dram: TXPDLL (%d) < TXP (%d): slow exit cannot beat fast exit", t.TXPDLL, t.TXP)
+	case t.TXS != 0 && t.TXS < t.TXP:
+		return fmt.Errorf("dram: TXS (%d) < TXP (%d): self-refresh exit cannot beat power-down exit", t.TXS, t.TXP)
+	case t.TRFCPB != 0 && t.TRFCPB > t.TRFC:
+		return fmt.Errorf("dram: TRFCPB (%d) > TRFC (%d): per-bank refresh cannot outlast all-bank", t.TRFCPB, t.TRFC)
 	}
 	return nil
 }

@@ -1,5 +1,7 @@
 package dram
 
+import "math"
+
 // SpeedGrade is one DDR3 data-rate bin with its JEDEC-style timing set.
 // The paper evaluates DDR3-1600; the other grades support the sensitivity
 // sweep over data rates. Chip power parameters are held at the Table 3
@@ -27,6 +29,9 @@ func SpeedGrades() []SpeedGrade {
 		t.TRTP = rtp
 		t.TWTR = wtr
 		t.TRFC = rfc
+		// tRFCpb is the device's 90 ns per-bank refresh rescaled to this
+		// bin's clock (the default 72 cycles assume tCK = 1.25 ns).
+		t.TRFCPB = int(math.Ceil(90 / tck))
 		t.TREFI = refi
 		return t
 	}

@@ -31,8 +31,11 @@ func (c *Channel) SaveState(w *checkpoint.Writer) {
 		}
 		w.I64(rk.refUntil)
 		w.I64(rk.nextRefresh)
-		w.Bool(rk.poweredDown)
+		w.Int(rk.refBank)
+		w.U8(uint8(rk.pd))
+		w.I64(rk.pdEnteredAt)
 		w.I64(rk.pdExit)
+		w.I64(rk.pdReady)
 		w.I64(rk.bgFrom)
 		for b := range rk.banks {
 			bk := &rk.banks[b]
@@ -74,8 +77,17 @@ func (c *Channel) RestoreState(r *checkpoint.Reader) (func(), error) {
 		}
 		rk.refUntil = r.I64()
 		rk.nextRefresh = r.I64()
-		rk.poweredDown = r.Bool()
+		rk.refBank = r.Int()
+		if rk.refBank < 0 || rk.refBank >= c.G.Banks {
+			r.Fail("dram: rank %d refresh bank %d of %d", ri, rk.refBank, c.G.Banks)
+		}
+		rk.pd = PDState(r.U8())
+		if rk.pd > PDSelfRefresh {
+			r.Fail("dram: rank %d power-down state %d", ri, rk.pd)
+		}
+		rk.pdEnteredAt = r.I64()
 		rk.pdExit = r.I64()
+		rk.pdReady = r.I64()
 		rk.bgFrom = r.I64()
 		rk.banks = make([]bankState, c.G.Banks)
 		for bi := range rk.banks {
@@ -97,8 +109,15 @@ func (c *Channel) RestoreState(r *checkpoint.Reader) (func(), error) {
 				rk.openCount++
 			}
 		}
-		if rk.poweredDown && rk.openCount > 0 {
-			r.Fail("dram: rank %d powered down with %d open banks", ri, rk.openCount)
+		switch rk.pd {
+		case PDPrechargeFast, PDPrechargeSlow, PDSelfRefresh:
+			if rk.openCount > 0 {
+				r.Fail("dram: rank %d in %v with %d open banks", ri, rk.pd, rk.openCount)
+			}
+		case PDActive:
+			if rk.openCount == 0 {
+				r.Fail("dram: rank %d in active power-down with no open banks", ri)
+			}
 		}
 	}
 	if err := r.Err(); err != nil {

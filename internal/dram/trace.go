@@ -9,14 +9,16 @@ import (
 // CmdKind identifies a DRAM command in the trace stream.
 type CmdKind uint8
 
+// The traced DRAM command kinds.
 const (
-	CmdAct CmdKind = iota
-	CmdRead
-	CmdWrite
-	CmdPre
-	CmdRef
+	CmdAct   CmdKind = iota // row activation
+	CmdRead                 // column read
+	CmdWrite                // column write
+	CmdPre                  // bank precharge
+	CmdRef                  // refresh
 )
 
+// String returns the command's mnemonic ("ACT", "RD", ...).
 func (k CmdKind) String() string {
 	switch k {
 	case CmdAct:

@@ -37,6 +37,27 @@ type Config struct {
 	// differs.
 	ECC bool
 
+	// Power-down management (DESIGN.md §4f). The zero values reproduce the
+	// pre-FSM behavior: immediate fast-exit precharge power-down, no active
+	// power-down, no self-refresh, conventional all-bank refresh.
+	PDPolicy  PDPolicy // when idle ranks drop CKE
+	PDTimeout int64    // idle memory cycles before PDTimed/PDQueueAware entry
+	// SRTimeout escalates a rank to self-refresh after this many idle
+	// memory cycles (0 = never). Independent of PDPolicy: a rank already
+	// in precharge power-down is woken (paying the exit latency) so the
+	// self-refresh entry command can issue.
+	SRTimeout int64
+	// PDSlowExit selects slow-exit (DLL-off) precharge power-down: lower
+	// background power, tXPDLL instead of tXP on exit.
+	PDSlowExit bool
+	// APD allows active power-down for idle ranks with open rows (only
+	// reachable under the open-page policy, which keeps rows open with no
+	// queued beneficiary).
+	APD bool
+	// RefreshMode selects all-bank, per-bank, or elastic (postpone and
+	// pull-in within the JEDEC 8x tREFI window) refresh management.
+	RefreshMode RefreshMode
+
 	// Ablation knobs (all default off = full PRA as published). They
 	// isolate the contribution of each PRA design element:
 	//   NoTimingRelax  — partial ACTs charge full tRRD/tFAW weight.
@@ -78,6 +99,16 @@ func (c Config) Validate() error {
 	case c.Geom.Ranks*c.Geom.Banks > 64:
 		return fmt.Errorf("memctrl: at most 64 banks per channel supported (have %d)", c.Geom.Ranks*c.Geom.Banks)
 	}
+	switch {
+	case c.PDPolicy > PDQueueAware:
+		return fmt.Errorf("memctrl: unknown power-down policy %d", c.PDPolicy)
+	case c.RefreshMode > RefreshElastic:
+		return fmt.Errorf("memctrl: unknown refresh mode %d", c.RefreshMode)
+	case c.PDTimeout < 0 || c.SRTimeout < 0:
+		return fmt.Errorf("memctrl: power-down timeouts must be non-negative")
+	case (c.PDPolicy == PDTimed || c.PDPolicy == PDQueueAware) && c.PDTimeout == 0:
+		return fmt.Errorf("memctrl: %v power-down policy requires PDTimeout > 0", c.PDPolicy)
+	}
 	if err := c.Timing.Validate(); err != nil {
 		return err
 	}
@@ -118,9 +149,9 @@ type request struct {
 	rowKey    uint64
 	byteMask  core.ByteMask // writes: FGD dirty bytes
 	wordMask  core.Mask     // cached projection of byteMask (FullMask for reads)
-	arrive    int64     // memory cycle
-	done      core.Done // reads: completion, invoked with the CPU cycle
-	activated bool // an ACT was issued on this request's behalf
+	arrive    int64         // memory cycle
+	done      core.Done     // reads: completion, invoked with the CPU cycle
+	activated bool          // an ACT was issued on this request's behalf
 	falseHit  bool
 	nextFree  *request // freelist link while recycled
 }
@@ -149,6 +180,13 @@ type chanCtl struct {
 	// internal order (swap-delete on removal) cannot leak into results.
 	rowCount  rowCounts
 	rankCount []int
+
+	// lastWork is the last scheduling-pass cycle at which each rank had
+	// queued work, the idle clock the timeout-based power-down policies
+	// count from. It is updated only inside scheduling passes (after the
+	// nextWake early-return), so skip-mode and per-cycle runs observe the
+	// identical sequence of values.
+	lastWork []int64
 
 	// nextWake is the earliest memory cycle at which scheduling could
 	// possibly issue a command; between now and then ticks only accrue
@@ -301,6 +339,13 @@ func New(cfg Config) (*Controller, error) {
 			return nil, err
 		}
 		ch.NoWeightedFAW = cfg.NoTimingRelax
+		ch.SlowExitPD = cfg.PDSlowExit
+		switch cfg.RefreshMode {
+		case RefreshPerBank:
+			ch.RefMode = dram.RefPerBank
+		case RefreshElastic:
+			ch.MaxPostpone = 8
+		}
 		acc.LinearActScale = cfg.Scheme == SDS
 		if cfg.ECC {
 			acc.ECCChips = 1
@@ -313,6 +358,7 @@ func New(cfg Config) (*Controller, error) {
 		cc.refPending = make([]bool, cfg.Geom.Ranks)
 		cc.rowCount = nil
 		cc.rankCount = make([]int, cfg.Geom.Ranks)
+		cc.lastWork = make([]int64, cfg.Geom.Ranks)
 		c.chans = append(c.chans, cc)
 	}
 	return c, nil
@@ -534,7 +580,14 @@ func (c *Controller) DeviceStats() dram.Stats {
 		s.Writes += d.Writes
 		s.Precharges += d.Precharges
 		s.Refreshes += d.Refreshes
+		s.PerBankRefreshes += d.PerBankRefreshes
+		s.PostponedRefreshes += d.PostponedRefreshes
+		s.PulledInRefreshes += d.PulledInRefreshes
+		s.SelfRefEntries += d.SelfRefEntries
 		s.PowerDownCycles += d.PowerDownCycles
+		s.ActivePDCycles += d.ActivePDCycles
+		s.SlowPDCycles += d.SlowPDCycles
+		s.SelfRefCycles += d.SelfRefCycles
 		s.ActiveRankCycles += d.ActiveRankCycles
 		s.PrechargedRankCycles += d.PrechargedRankCycles
 		s.WordsWritten += d.WordsWritten
@@ -582,14 +635,20 @@ func (cc *chanCtl) tick(mem int64) {
 		return
 	}
 
-	// Wake powered-down ranks that have work (requests or a due refresh);
-	// the wake costs tXP before the first command (Table: tXP).
+	// Wake powered-down ranks that have work (requests or a refresh the
+	// rank must take — under elastic refresh a merely-due refresh is
+	// postponed rather than cutting the sleep short); the wake costs the
+	// state's exit latency before the first command (tXP/tXPDLL/tXS).
 	for r := 0; r < cc.cfg.Geom.Ranks; r++ {
-		if cc.ch.PoweredDown(r) && (cc.rankHasWork(r) || cc.ch.RefreshDue(mem, r)) {
+		if cc.rankHasWork(r) {
+			cc.lastWork[r] = mem
+		}
+		if cc.ch.PoweredDown(r) && (cc.rankHasWork(r) || cc.refreshWakes(mem, r)) {
+			st := cc.ch.PDStateOf(r)
 			cc.ch.Wake(mem, r)
 			if cc.ev.Enabled(obs.LevelState) {
 				cc.ev.Emit(obs.Event{Cycle: mem, Level: obs.LevelState, Scope: cc.scope,
-					Kind: "wake", Detail: fmt.Sprintf("rank %d out of power-down", r)})
+					Kind: "wake", Detail: fmt.Sprintf("rank %d out of %v", r, st)})
 			}
 		}
 	}
@@ -617,7 +676,7 @@ func (cc *chanCtl) tick(mem int64) {
 	// Nothing issued: sleep until the earliest collected readiness or the
 	// next refresh deadline, whichever comes first.
 	wake := cc.wakeMin
-	if due := cc.ch.NextRefreshAny(); due < wake {
+	if due := cc.refreshHorizon(mem); due < wake {
 		wake = due
 	}
 	if wake <= mem {
@@ -654,8 +713,60 @@ func (cc *chanCtl) schedule(mem int64) bool {
 	return cc.idleManage(mem)
 }
 
-// issueRefresh drives due refreshes: close the rank's banks, then REF.
-// Returns true when it consumed the command slot.
+// refreshWakes reports whether a refresh obligation justifies waking
+// powered-down rank r: any due refresh under the conventional modes, only
+// a must-issue one (postponement credit exhausted) under elastic refresh.
+func (cc *chanCtl) refreshWakes(mem int64, r int) bool {
+	if cc.cfg.RefreshMode == RefreshElastic {
+		return cc.ch.RefreshMust(mem, r)
+	}
+	return cc.ch.RefreshDue(mem, r)
+}
+
+// refreshWanted reports whether this pass should push a refresh toward
+// rank r. Powered-down ranks never want one here: the wake loop at the top
+// of the pass decides when a refresh is worth a wake, so a still-sleeping
+// rank is by definition one whose refreshes are being deferred. Under
+// elastic refresh an awake busy rank postpones due refreshes until either
+// the 8x tREFI credit runs out or the rank goes idle.
+func (cc *chanCtl) refreshWanted(mem int64, r int) bool {
+	if cc.ch.PoweredDown(r) {
+		return false
+	}
+	if cc.cfg.RefreshMode == RefreshElastic {
+		return cc.ch.RefreshMust(mem, r) ||
+			(cc.ch.RefreshDue(mem, r) && !cc.rankHasWork(r))
+	}
+	return cc.ch.RefreshDue(mem, r)
+}
+
+// refreshHorizon returns the earliest cycle a refresh obligation can force
+// scheduling work, for the channel sleep computation. Under elastic
+// refresh a powered-down or busy rank only matters at its must-refresh
+// deadline (its merely-due refreshes are being postponed); elsewhere the
+// plain next-due time stands.
+func (cc *chanCtl) refreshHorizon(mem int64) int64 {
+	if cc.cfg.RefreshMode != RefreshElastic {
+		return cc.ch.NextRefreshAny()
+	}
+	h := int64(farFuture)
+	for r := 0; r < cc.cfg.Geom.Ranks; r++ {
+		var at int64
+		if cc.ch.PoweredDown(r) || cc.rankHasWork(r) {
+			at = cc.ch.MustRefreshAt(r)
+		} else {
+			at = cc.ch.NextRefreshAt(r)
+		}
+		if at < h {
+			h = at
+		}
+	}
+	return h
+}
+
+// issueRefresh drives due refreshes: close the rank's banks, then REF (or
+// a round-robin REFpb under per-bank refresh). Returns true when it
+// consumed the command slot.
 func (cc *chanCtl) issueRefresh(mem int64) bool {
 	if cc.ch.NextRefreshAny() > mem {
 		// No rank is due. refPending entries are already false: a pending
@@ -664,7 +775,15 @@ func (cc *chanCtl) issueRefresh(mem int64) bool {
 		return false
 	}
 	for r := 0; r < cc.cfg.Geom.Ranks; r++ {
-		if !cc.ch.RefreshDue(mem, r) {
+		if cc.cfg.RefreshMode == RefreshPerBank {
+			// REFpb blocks only its target bank, so the rank-wide
+			// refPending column freeze does not apply.
+			if cc.refreshWanted(mem, r) && cc.issueRefreshBank(mem, r) {
+				return true
+			}
+			continue
+		}
+		if !cc.refreshWanted(mem, r) {
 			cc.refPending[r] = false
 			continue
 		}
@@ -701,6 +820,43 @@ func (cc *chanCtl) issueRefresh(mem int64) bool {
 		}
 	}
 	return false
+}
+
+// issueRefreshBank pushes rank r's round-robin per-bank refresh forward:
+// close the target bank if a row is open there, then REFpb. Returns true
+// when it consumed the command slot. REFpb cannot lose the bank to a
+// re-activation: issueRefresh runs first in every scheduling pass and both
+// REFpb and ACT are gated by the same actAllowed window, so the refresh
+// command wins the first cycle both become legal.
+func (cc *chanCtl) issueRefreshBank(mem int64, r int) bool {
+	b := cc.ch.NextRefreshBank(r)
+	if _, _, open := cc.ch.OpenRow(r, b); open {
+		if at := cc.ch.PreReadyAt(mem, r, b); at <= mem {
+			if err := cc.ch.Precharge(mem, r, b); err == nil {
+				cc.hitCount[r][b] = 0
+				return true
+			}
+		} else {
+			cc.noteReady(at)
+		}
+		return false
+	}
+	at, ok := cc.ch.RefreshBankReadyAt(mem, r)
+	if !ok {
+		return false
+	}
+	if at > mem {
+		cc.noteReady(at)
+		return false
+	}
+	if err := cc.ch.RefreshBank(mem, r); err != nil {
+		return false
+	}
+	if cc.ev.Enabled(obs.LevelState) {
+		cc.ev.Emit(obs.Event{Cycle: mem, Level: obs.LevelState, Scope: cc.scope,
+			Kind: "refresh", Detail: fmt.Sprintf("rank %d bank %d blocked for tRFCpb=%d", r, b, cc.cfg.Timing.TRFCPB)})
+	}
+	return true
 }
 
 // writeFrac returns the fraction of the line's words transferred for a
@@ -989,16 +1145,120 @@ func (cc *chanCtl) idleManage(mem int64) bool {
 		}
 	}
 	for r := 0; r < geom.Ranks; r++ {
-		if cc.ch.PoweredDown(r) || cc.ch.AnyBankOpen(r) || cc.rankHasWork(r) || cc.ch.RefreshDue(mem, r) {
+		if cc.rankHasWork(r) {
 			continue
 		}
-		cc.ch.PowerDown(mem, r)
-		if cc.ch.PoweredDown(r) && cc.ev.Enabled(obs.LevelState) {
+		if st := cc.ch.PDStateOf(r); st != dram.PDAwake {
+			// Self-refresh escalation: a rank that has slept in precharge
+			// power-down past SRTimeout is woken (paying the exit latency)
+			// so the self-refresh entry command can issue on a later pass.
+			if (st == dram.PDPrechargeFast || st == dram.PDPrechargeSlow) && cc.srDueAt(r) <= mem {
+				cc.ch.Wake(mem, r)
+				if cc.ev.Enabled(obs.LevelState) {
+					cc.ev.Emit(obs.Event{Cycle: mem, Level: obs.LevelState, Scope: cc.scope,
+						Kind: "wake", Detail: fmt.Sprintf("rank %d out of %v to escalate to self-refresh", r, st)})
+				}
+				cc.noteReady(cc.ch.PDEntryReadyAt(r))
+			}
+			continue
+		}
+		if cc.ch.RefreshDue(mem, r) {
+			continue // issueRefresh owns the rank until it is current
+		}
+		pdAt := cc.pdDueAt(mem, r)
+		if cc.ch.AnyBankOpen(r) {
+			// Open rows with no queued beneficiary only persist under the
+			// open-page policy; active power-down is their companion state.
+			if !cc.cfg.APD {
+				continue
+			}
+			if pdAt > mem {
+				cc.noteReady(pdAt)
+				continue
+			}
+			if at := cc.ch.PDEntryReadyAt(r); at > mem {
+				cc.noteReady(at)
+			} else if cc.ch.EnterActivePowerDown(mem, r) && cc.ev.Enabled(obs.LevelState) {
+				cc.ev.Emit(obs.Event{Cycle: mem, Level: obs.LevelState, Scope: cc.scope,
+					Kind: "power-down", Detail: fmt.Sprintf("rank %d idle, entering active power-down", r)})
+			}
+			continue
+		}
+		srAt := cc.srDueAt(r)
+		// Elastic pull-in: about to sleep with refresh credit to spare —
+		// refresh early so the coming sleep is not cut short. Pointless
+		// when self-refresh is imminent (the device then refreshes itself).
+		if cc.cfg.RefreshMode == RefreshElastic && pdAt <= mem && srAt > mem && cc.ch.CanPullIn(mem, r) {
+			if at, ok := cc.ch.RefreshReadyAt(mem, r); ok {
+				if at <= mem {
+					if cc.ch.Refresh(mem, r) == nil {
+						if cc.ev.Enabled(obs.LevelState) {
+							cc.ev.Emit(obs.Event{Cycle: mem, Level: obs.LevelState, Scope: cc.scope,
+								Kind: "refresh", Detail: fmt.Sprintf("rank %d pull-in before power-down", r)})
+						}
+						return true
+					}
+				} else {
+					cc.noteReady(at)
+				}
+			}
+			continue
+		}
+		if srAt <= mem {
+			if at := cc.ch.PDEntryReadyAt(r); at > mem {
+				cc.noteReady(at)
+			} else if cc.ch.EnterSelfRefresh(mem, r) && cc.ev.Enabled(obs.LevelState) {
+				cc.ev.Emit(obs.Event{Cycle: mem, Level: obs.LevelState, Scope: cc.scope,
+					Kind: "self-refresh", Detail: fmt.Sprintf("rank %d idle for %d cycles, entering self-refresh", r, mem-cc.lastWork[r])})
+			}
+			continue
+		}
+		if cc.cfg.SRTimeout > 0 {
+			cc.noteReady(srAt)
+		}
+		if pdAt > mem {
+			if cc.cfg.PDPolicy != PDNone {
+				cc.noteReady(pdAt)
+			}
+			continue
+		}
+		if at := cc.ch.PDEntryReadyAt(r); at > mem {
+			cc.noteReady(at)
+			continue
+		}
+		if cc.ch.EnterPowerDown(mem, r) && cc.ev.Enabled(obs.LevelState) {
 			cc.ev.Emit(obs.Event{Cycle: mem, Level: obs.LevelState, Scope: cc.scope,
 				Kind: "power-down", Detail: fmt.Sprintf("rank %d idle, entering precharge power-down", r)})
 		}
 	}
 	return false
+}
+
+// pdDueAt returns the cycle at which the power-down policy wants idle rank
+// r to drop CKE (farFuture under PDNone; a value <= mem means "now").
+func (cc *chanCtl) pdDueAt(mem int64, r int) int64 {
+	switch cc.cfg.PDPolicy {
+	case PDNone:
+		return farFuture
+	case PDTimed:
+		return cc.lastWork[r] + cc.cfg.PDTimeout
+	case PDQueueAware:
+		if len(cc.readQ) == 0 && len(cc.writeQ) == 0 {
+			return mem
+		}
+		return cc.lastWork[r] + cc.cfg.PDTimeout
+	default: // PDImmediate
+		return mem
+	}
+}
+
+// srDueAt returns the cycle at which idle rank r should escalate to
+// self-refresh (farFuture when escalation is disabled).
+func (cc *chanCtl) srDueAt(r int) int64 {
+	if cc.cfg.SRTimeout == 0 {
+		return farFuture
+	}
+	return cc.lastWork[r] + cc.cfg.SRTimeout
 }
 
 // rowBenefits reports whether any queued request would hit the open row.

@@ -63,20 +63,28 @@ func (c *Controller) AttachObs(rec *obs.Recorder, ev *obs.EventLog) {
 			return n
 		})
 	}
-	rec.Counter("refreshes", func() int64 {
-		var n int64
-		for _, cc := range c.chans {
-			n += cc.ch.Stats.Refreshes
+	// Refresh-management and power-down FSM counters (DESIGN.md §4f). The
+	// rank-cycle residency counters are lazily accrued, so epoch deltas
+	// are exact only after the recorder's CatchUp hook has run; the sim
+	// layer samples after CatchUp.
+	dsum := func(f func(*dram.Stats) int64) func() int64 {
+		return func() int64 {
+			var n int64
+			for _, cc := range c.chans {
+				n += f(&cc.ch.Stats)
+			}
+			return n
 		}
-		return n
-	})
-	rec.Counter("powerdown_rank_cycles", func() int64 {
-		var n int64
-		for _, cc := range c.chans {
-			n += cc.ch.Stats.PowerDownCycles
-		}
-		return n
-	})
+	}
+	rec.Counter("refreshes", dsum(func(s *dram.Stats) int64 { return s.Refreshes }))
+	rec.Counter("perbank_refreshes", dsum(func(s *dram.Stats) int64 { return s.PerBankRefreshes }))
+	rec.Counter("postponed_refreshes", dsum(func(s *dram.Stats) int64 { return s.PostponedRefreshes }))
+	rec.Counter("pulledin_refreshes", dsum(func(s *dram.Stats) int64 { return s.PulledInRefreshes }))
+	rec.Counter("selfref_entries", dsum(func(s *dram.Stats) int64 { return s.SelfRefEntries }))
+	rec.Counter("powerdown_rank_cycles", dsum(func(s *dram.Stats) int64 { return s.PowerDownCycles }))
+	rec.Counter("activepd_rank_cycles", dsum(func(s *dram.Stats) int64 { return s.ActivePDCycles }))
+	rec.Counter("slowpd_rank_cycles", dsum(func(s *dram.Stats) int64 { return s.SlowPDCycles }))
+	rec.Counter("selfref_rank_cycles", dsum(func(s *dram.Stats) int64 { return s.SelfRefCycles }))
 
 	// Energy components: activate vs background (vs refresh) attribution
 	// per epoch, plus the total.

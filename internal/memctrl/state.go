@@ -66,6 +66,9 @@ func (c *Controller) SaveState(w *checkpoint.Writer) {
 		for _, p := range cc.refPending {
 			w.Bool(p)
 		}
+		for _, t := range cc.lastWork {
+			w.I64(t)
+		}
 		w.I64(cc.nextWake)
 	}
 }
@@ -123,6 +126,7 @@ func (c *Controller) RestoreState(r *checkpoint.Reader, fillResolve func(lineID 
 		drain                   bool
 		hitCount                []int
 		refPending              []bool
+		lastWork                []int64
 		nextWake                int64
 	}
 	states := make([]chanState, len(c.chans))
@@ -164,6 +168,10 @@ func (c *Controller) RestoreState(r *checkpoint.Reader, fillResolve func(lineID 
 		for j := range st.refPending {
 			st.refPending[j] = r.Bool()
 		}
+		st.lastWork = make([]int64, c.cfg.Geom.Ranks)
+		for j := range st.lastWork {
+			st.lastWork[j] = r.I64()
+		}
 		st.nextWake = r.I64()
 	}
 	if err := r.Err(); err != nil {
@@ -187,6 +195,7 @@ func (c *Controller) RestoreState(r *checkpoint.Reader, fillResolve func(lineID 
 				}
 			}
 			copy(cc.refPending, st.refPending)
+			copy(cc.lastWork, st.lastWork)
 			cc.nextWake = st.nextWake
 			cc.freeReq = nil
 			// Recompute the derived occupancy indices (forwarded reads are

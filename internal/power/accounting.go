@@ -18,6 +18,9 @@ const (
 	CompWrTerm                  // write termination on the other rank
 	CompBG                      // background / standby
 	CompRef                     // refresh
+
+	// NumComponents counts the components above; Breakdown is indexed by
+	// Component and sized by it.
 	NumComponents
 )
 
@@ -25,6 +28,7 @@ var componentNames = [NumComponents]string{
 	"ACT-PRE", "RD", "WR", "RD I/O", "WR ODT", "RD TERM", "WR TERM", "BG", "REF",
 }
 
+// String returns the component's table label (e.g. "ACT-PRE", "BG").
 func (c Component) String() string {
 	if c < 0 || c >= NumComponents {
 		return fmt.Sprintf("Component(%d)", int(c))
@@ -175,13 +179,19 @@ func (a *Accumulator) WriteBurst(burstNs, frac float64) {
 type RankState int
 
 const (
-	RankActive      RankState = iota // at least one bank open: ACT STBY
-	RankPrecharged                   // all banks idle, CKE high: PRE STBY
-	RankPoweredDown                  // precharge power-down: PRE PDN
+	RankActive          RankState = iota // at least one bank open: ACT STBY
+	RankPrecharged                       // all banks idle, CKE high: PRE STBY
+	RankPoweredDown                      // fast-exit precharge power-down: PRE PDN
+	RankActivePD                         // active power-down (banks open, CKE low): ACT PDN
+	RankPoweredDownSlow                  // slow-exit precharge power-down (DLL frozen)
+	RankSelfRefresh                      // self-refresh (internal refresh included)
 )
 
 // Background charges ns nanoseconds of standby power for one rank in the
-// given state.
+// given state. Self-refresh intervals are charged at the IDD6-derived
+// SelfRef power only — the internally generated refresh bursts are folded
+// into that figure, so no separate Refresh charge applies while a rank
+// self-refreshes.
 func (a *Accumulator) Background(s RankState, ns float64) {
 	var p float64
 	switch s {
@@ -189,6 +199,12 @@ func (a *Accumulator) Background(s RankState, ns float64) {
 		p = a.Chip.ActStby
 	case RankPrecharged:
 		p = a.Chip.PreStby
+	case RankActivePD:
+		p = a.Chip.ActPdn
+	case RankPoweredDownSlow:
+		p = a.Chip.PrePdnSlow
+	case RankSelfRefresh:
+		p = a.Chip.SelfRef
 	default:
 		p = a.Chip.PrePdn
 	}

@@ -5,15 +5,24 @@ package power
 // paper ("Power (mW)" block).
 type ChipPowers struct {
 	PreStby float64 // PRE STBY: precharge standby (all banks idle, CKE high)
-	PrePdn  float64 // PRE PDN: precharge power-down (CKE low)
+	PrePdn  float64 // PRE PDN: fast-exit precharge power-down (CKE low, DLL on)
 	Ref     float64 // REF: refresh power during tRFC
 	ActStby float64 // ACT STBY: active standby (>=1 bank open)
-	Rd      float64 // RD: column-read array power while bursting
-	Wr      float64 // WR: column-write array power while bursting
-	RdIO    float64 // RD I/O: output driver power while bursting
-	WrODT   float64 // WR ODT: on-die termination power while receiving data
-	RdTerm  float64 // RD TERM: termination of reads on the other rank
-	WrTerm  float64 // WR TERM: termination of writes on the other rank
+
+	// The deeper low-power states are not part of the paper's Table 3 (the
+	// paper models only fast-exit precharge power-down); the values below
+	// are derived from the same 2Gb x8 DDR3-1600 datasheet current set at
+	// VDD = 1.5V so that the five background states order consistently:
+	// ActStby > PreStby > ActPdn > PrePdn > SelfRef > PrePdnSlow.
+	ActPdn     float64 // ACT PDN: active power-down (CKE low, banks open; IDD3P)
+	PrePdnSlow float64 // PRE PDN SLOW: slow-exit precharge power-down, DLL frozen (IDD2P0)
+	SelfRef    float64 // SELF REF: self-refresh, internal refresh bursts included (IDD6)
+	Rd         float64 // RD: column-read array power while bursting
+	Wr         float64 // WR: column-write array power while bursting
+	RdIO       float64 // RD I/O: output driver power while bursting
+	WrODT      float64 // WR ODT: on-die termination power while receiving data
+	RdTerm     float64 // RD TERM: termination of reads on the other rank
+	WrTerm     float64 // WR TERM: termination of writes on the other rank
 
 	// Act[g-1] is the activation power at g/8-row granularity, g = 1..8.
 	// Act[7] is the conventional full-row activation power P_ACT from
@@ -28,13 +37,18 @@ func DefaultChipPowers() ChipPowers {
 		PrePdn:  18,
 		Ref:     210,
 		ActStby: 42,
-		Rd:      78,
-		Wr:      93,
-		RdIO:    4.6,
-		WrODT:   21.2,
-		RdTerm:  15.5,
-		WrTerm:  15.4,
-		Act:     [8]float64{3.7, 6.4, 9.1, 11.6, 14.3, 16.9, 19.6, 22.2},
+		// Non-Table-3 states, datasheet-derived (see ChipPowers):
+		// IDD3P = 16mA, IDD2P0 = 10mA, IDD6 = 11mA at VDD = 1.5V.
+		ActPdn:     24,
+		PrePdnSlow: 15,
+		SelfRef:    16.5,
+		Rd:         78,
+		Wr:         93,
+		RdIO:       4.6,
+		WrODT:      21.2,
+		RdTerm:     15.5,
+		WrTerm:     15.4,
+		Act:        [8]float64{3.7, 6.4, 9.1, 11.6, 14.3, 16.9, 19.6, 22.2},
 	}
 }
 

@@ -49,8 +49,19 @@ type warmupKey struct {
 	CPU           cpu.Config
 	Timing        dram.Timing // normalized (nil Config.Timing means the DDR3-1600 default)
 	CPUPerMem     int64       // normalized to the effective clock ratio
-	NoSkip        bool  // changes the executed-tick count carried across the boundary
-	MaxCycles     int64 // changes where a stuck warmup aborts
+	NoSkip        bool        // changes the executed-tick count carried across the boundary
+	MaxCycles     int64       // changes where a stuck warmup aborts
+
+	// Power-down and refresh management all steer controller decisions
+	// during warmup (entry timing, refresh scheduling), so they are part
+	// of the key. PowerCal is NOT: calibration is applied post-hoc to the
+	// energy breakdown and cannot influence execution.
+	PDPolicy    memctrl.PDPolicy
+	PDTimeout   int64
+	SRTimeout   int64
+	PDSlowExit  bool
+	APD         bool
+	RefreshMode memctrl.RefreshMode
 }
 
 // timingOrDefault returns the effective DDR3 timing set (Config.Timing,
@@ -87,6 +98,12 @@ func WarmupFingerprint(cfg Config) (string, bool) {
 		CPUPerMem:     memctrl.DefaultConfig().CPUPerMem,
 		NoSkip:        cfg.NoSkip,
 		MaxCycles:     cfg.MaxCycles,
+		PDPolicy:      cfg.PDPolicy,
+		PDTimeout:     cfg.PDTimeout,
+		SRTimeout:     cfg.SRTimeout,
+		PDSlowExit:    cfg.PDSlowExit,
+		APD:           cfg.APD,
+		RefreshMode:   cfg.RefreshMode,
 	}
 	if key.ActiveCores == 0 {
 		key.ActiveCores = key.Cores
@@ -103,7 +120,7 @@ func WarmupFingerprint(cfg Config) (string, bool) {
 // by ModelVersion, which is embedded alongside.
 const (
 	ckptMagic  = "pradram-ckpt"
-	ckptFormat = 1
+	ckptFormat = 2 // v2: power-down FSM rank fields + per-rank idle clocks
 )
 
 // Checkpoint serializes the system's complete post-warmup state. It must

@@ -185,6 +185,8 @@ func TestCheckpointFieldExclusions(t *testing.T) {
 			func(c *Config) { c.Capture = true }},
 		{"Obs", "telemetry observes state without influencing it (PR 3's bit-identity contract)",
 			func(c *Config) { c.Obs = ObsConfig{EpochCycles: 256, EventLevel: obs.LevelCmd} }},
+		{"PowerCal", "calibration scales the finished energy breakdown post-hoc; no simulated state reads it",
+			func(c *Config) { c.PowerCal = "ghose:10" }},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -260,6 +262,13 @@ func TestWarmupFingerprintFields(t *testing.T) {
 		"Timing":        {mutate: func(c *Config) { t := c.timingOrDefault(); t.TRCD = 99; c.Timing = &t }, wantChange: true},
 		"CPUPerMem":     {mutate: func(c *Config) { c.CPUPerMem = 8 }, wantChange: true},
 		"Obs":           {mutate: func(c *Config) { c.Obs = ObsConfig{EpochCycles: 64} }, wantChange: false},
+		"PDPolicy":      {mutate: func(c *Config) { c.PDPolicy = memctrl.PDNone }, wantChange: true},
+		"PDTimeout":     {mutate: func(c *Config) { c.PDPolicy = memctrl.PDTimed; c.PDTimeout = 100 }, wantChange: true},
+		"SRTimeout":     {mutate: func(c *Config) { c.SRTimeout = 10_000 }, wantChange: true},
+		"PDSlowExit":    {mutate: func(c *Config) { c.PDSlowExit = true }, wantChange: true},
+		"APD":           {mutate: func(c *Config) { c.APD = true }, wantChange: true},
+		"RefreshMode":   {mutate: func(c *Config) { c.RefreshMode = memctrl.RefreshPerBank }, wantChange: true},
+		"PowerCal":      {mutate: func(c *Config) { c.PowerCal = "ghose" }, wantChange: false},
 	}
 
 	typ := reflect.TypeOf(Config{})

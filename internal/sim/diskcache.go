@@ -19,7 +19,7 @@ import (
 // additionally rejects any payload whose embedded version disagrees.
 // Container-format changes to the checkpoint encoding itself are versioned
 // separately by ckptFormat (checkpoint.go).
-const ModelVersion = "pradram-model-v1"
+const ModelVersion = "pradram-model-v2"
 
 // diskCache persists one Result per configuration as a JSON file under
 // dir, so repeated praexp invocations and CI reruns skip simulation

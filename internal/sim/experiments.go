@@ -155,11 +155,31 @@ type runKey struct {
 
 	// ablation variants
 	noRelax, noIO, noCycle bool
+
+	// power-down and refresh management (the pdsweep/powerband
+	// experiments); zero values are the defaults, and the key string only
+	// grows a suffix when any of them is set, so historical keys for
+	// default runs are unchanged.
+	pdPolicy  memctrl.PDPolicy
+	pdTimeout int64
+	srTimeout int64
+	slowPD    bool
+	apd       bool
+	refMode   memctrl.RefreshMode
+	powerCal  string
 }
 
 func (k runKey) String() string {
-	return fmt.Sprintf("%s/%v/%v/dbi=%v/active=%d/abl=%v%v%v",
+	s := fmt.Sprintf("%s/%v/%v/dbi=%v/active=%d/abl=%v%v%v",
 		k.workload, k.scheme, k.policy, k.dbi, k.active, k.noRelax, k.noIO, k.noCycle)
+	if k.pdPolicy != 0 || k.pdTimeout != 0 || k.srTimeout != 0 || k.slowPD || k.apd || k.refMode != 0 {
+		s += fmt.Sprintf("/pd=%v,%d,%d,slow=%v,apd=%v,ref=%v",
+			k.pdPolicy, k.pdTimeout, k.srTimeout, k.slowPD, k.apd, k.refMode)
+	}
+	if k.powerCal != "" {
+		s += "/cal=" + k.powerCal
+	}
+	return s
 }
 
 // Run executes (or recalls) one configuration. Concurrent callers are
@@ -213,6 +233,13 @@ func (r *Runner) config(k runKey) Config {
 	cfg.NoTimingRelax = k.noRelax
 	cfg.NoPartialIO = k.noIO
 	cfg.NoMaskCycle = k.noCycle
+	cfg.PDPolicy = k.pdPolicy
+	cfg.PDTimeout = k.pdTimeout
+	cfg.SRTimeout = k.srTimeout
+	cfg.PDSlowExit = k.slowPD
+	cfg.APD = k.apd
+	cfg.RefreshMode = k.refMode
+	cfg.PowerCal = k.powerCal
 	cfg.Obs = r.opt.Obs
 	cfg.NoSkip = r.opt.NoSkip
 	return cfg
@@ -309,6 +336,8 @@ func Experiments() []Experiment {
 		{"modelcheck", "Cross-validation: analytic power model vs cycle-level simulation", ExpModelCheck, keysModelCheck},
 		{"sensitivity", "Sensitivity: PRA savings vs dirty words per line and write share", ExpSensitivity, nil},
 		{"speedgrades", "Speed grades: PRA savings across DDR3 data rates", ExpSpeedGrades, nil},
+		{"pdsweep", "Power-down & refresh management: policy sweep (residency, energy)", ExpPDSweep, keysPDSweep},
+		{"powerband", "Calibrated power bands: min/nominal/max under each correction set", ExpPowerBand, keysPowerBand},
 	}
 }
 

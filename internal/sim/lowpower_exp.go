@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+
+	"pradram/internal/memctrl"
+	"pradram/internal/power"
+	"pradram/internal/stats"
+)
+
+// The power-down & refresh management experiments (DESIGN.md §4f):
+// pdsweep measures how each entry policy and refresh mode trades
+// low-power residency against performance, and powerband reports every
+// energy figure as the min/nominal/max band its calibration implies.
+
+// pdVariant is one power-management configuration of the sweep.
+type pdVariant struct {
+	name                 string
+	policy               memctrl.PDPolicy
+	pdTimeout, srTimeout int64
+	slowPD               bool
+	refMode              memctrl.RefreshMode
+}
+
+// pdVariants is the sweep, in presentation order. Timeouts are in memory
+// cycles: 200 (250ns) is a conventional power-down hysteresis, 5000
+// (6.25us) a conservative self-refresh threshold.
+func pdVariants() []pdVariant {
+	return []pdVariant{
+		{name: "no-pd", policy: memctrl.PDNone},
+		{name: "immediate", policy: memctrl.PDImmediate},
+		{name: "imm-slowexit", policy: memctrl.PDImmediate, slowPD: true},
+		{name: "timeout-200", policy: memctrl.PDTimed, pdTimeout: 200},
+		{name: "queue-200", policy: memctrl.PDQueueAware, pdTimeout: 200},
+		{name: "imm+selfref", policy: memctrl.PDImmediate, srTimeout: 5000},
+		{name: "imm+perbank", policy: memctrl.PDImmediate, refMode: memctrl.RefreshPerBank},
+		{name: "imm+elastic", policy: memctrl.PDImmediate, refMode: memctrl.RefreshElastic},
+	}
+}
+
+// pdSweepWorkloads spans the intensity range: GUPS keeps every rank busy,
+// bzip2 is compute-bound, and MIX1's imbalanced mix leaves whole ranks
+// idle the longest — which is what rank-granularity power-down harvests.
+var pdSweepWorkloads = []string{"bzip2", "GUPS", "MIX1"}
+
+func pdKey(w string, v pdVariant) runKey {
+	return runKey{workload: w, scheme: memctrl.Baseline, policy: memctrl.RelaxedClose, active: 4,
+		pdPolicy: v.policy, pdTimeout: v.pdTimeout, srTimeout: v.srTimeout,
+		slowPD: v.slowPD, refMode: v.refMode}
+}
+
+func keysPDSweep() []runKey {
+	var keys []runKey
+	for _, w := range pdSweepWorkloads {
+		for _, v := range pdVariants() {
+			keys = append(keys, pdKey(w, v))
+		}
+	}
+	return keys
+}
+
+// ExpPDSweep regenerates the power-down & refresh management sweep:
+// low-power residency, refresh-management activity, and the resulting
+// background/total power for every entry policy, against the no-power-
+// down baseline of each workload.
+func ExpPDSweep(r *Runner) (string, error) {
+	t := stats.NewTable("workload", "policy",
+		"lowpow%", "selfref%", "REF", "REFpb", "post/pull",
+		"BG mW", "total mW", "dPower%", "dCycles%")
+	for _, w := range pdSweepWorkloads {
+		base, err := r.Run(pdKey(w, pdVariant{name: "no-pd", policy: memctrl.PDNone}))
+		if err != nil {
+			return "", err
+		}
+		for _, v := range pdVariants() {
+			res, err := r.Run(pdKey(w, v))
+			if err != nil {
+				return "", err
+			}
+			t.Row(w, v.name,
+				fmt.Sprintf("%5.1f", 100*res.LowPowerResidency()),
+				fmt.Sprintf("%5.1f", 100*res.SelfRefreshResidency()),
+				res.Dev.Refreshes,
+				res.Dev.PerBankRefreshes,
+				fmt.Sprintf("%d/%d", res.Dev.PostponedRefreshes, res.Dev.PulledInRefreshes),
+				res.Energy[power.CompBG]/res.RuntimeNs(),
+				res.AvgPowerMW(),
+				100*(res.AvgPowerMW()/base.AvgPowerMW()-1),
+				100*(float64(res.Cycles)/float64(base.Cycles)-1))
+		}
+	}
+	return t.String() + "\nlowpow% counts rank-cycles with CKE low (any power-down state or self-refresh);\n" +
+		"dPower/dCycles are relative to the no-pd row of the same workload.\n", nil
+}
+
+// powerBandRuns are the (workload, scheme) pairs the band report covers.
+func powerBandRuns() []runKey {
+	var keys []runKey
+	for _, w := range []string{"GUPS", "MIX1"} {
+		for _, s := range []memctrl.Scheme{memctrl.Baseline, memctrl.PRA} {
+			keys = append(keys, runKey{workload: w, scheme: s, policy: memctrl.RelaxedClose, active: 4})
+		}
+	}
+	return keys
+}
+
+func keysPowerBand() []runKey { return powerBandRuns() }
+
+// ExpPowerBand regenerates the calibrated power-band report: each
+// simulated energy result under every calibration preset, as the
+// min/nominal/max average-power band the correction factors imply.
+// Calibration is post-hoc, so all presets share one simulation per run.
+func ExpPowerBand(r *Runner) (string, error) {
+	specs := []string{"none", "vendor", "ghose", "ghose:10"}
+	t := stats.NewTable("workload", "scheme", "calibration",
+		"min mW", "nom mW", "max mW", "spread%")
+	for _, k := range powerBandRuns() {
+		res, err := r.Run(k)
+		if err != nil {
+			return "", err
+		}
+		for _, spec := range specs {
+			cal, err := power.ParseCalibration(spec)
+			if err != nil {
+				return "", err
+			}
+			band := cal.Total(res.Energy).Scale(1 / res.RuntimeNs())
+			t.Row(k.workload, k.scheme.String(), spec,
+				band.Min, band.Nom, band.Max, 100*band.Spread())
+		}
+	}
+	return t.String() + "\nBands combine per-component correction-factor extremes (conservative);\n" +
+		"the ghose preset follows the real-device deviations reported by Ghose et al.\n" +
+		"(arXiv:1807.05102); \":10\" adds +-10% device-to-device variation on top.\n", nil
+}

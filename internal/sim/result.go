@@ -24,6 +24,20 @@ type Result struct {
 	Dev    dram.Stats
 	Cache  cache.Stats
 	Energy power.Breakdown
+
+	// Cal is the power-model calibration the run was configured with
+	// (Config.PowerCal); EnergyBand and PowerBandMW apply it. A zero Cal
+	// (e.g. a Result decoded from an old cache entry) behaves as "none".
+	Cal power.Calibration
+}
+
+// calibration returns the effective calibration, defaulting a zero value
+// to the identity so Results from older cache entries keep working.
+func (r Result) calibration() power.Calibration {
+	if r.Cal.Name == "" {
+		return power.CalNone()
+	}
+	return r.Cal
 }
 
 // RuntimeNs returns the run's wall time in DRAM-visible nanoseconds.
@@ -40,6 +54,36 @@ func (r Result) TotalEnergyPJ() float64 { return r.Energy.Total() }
 // EDP returns the energy-delay product in pJ*ns (comparisons are always
 // against a baseline, so the unit cancels).
 func (r Result) EDP() float64 { return r.Energy.Total() * r.RuntimeNs() }
+
+// EnergyBand returns the calibrated total-energy band in pJ: the nominal
+// value applies each component's nominal correction factor, and the
+// min/max ends combine the per-component extremes (a conservative band;
+// see power.Calibration). Under the "none" calibration all three equal
+// TotalEnergyPJ().
+func (r Result) EnergyBand() power.Band {
+	return r.calibration().Total(r.Energy)
+}
+
+// PowerBandMW returns the calibrated average-power band over the run.
+func (r Result) PowerBandMW() power.Band {
+	ns := r.RuntimeNs()
+	if ns == 0 {
+		return power.Band{}
+	}
+	return r.EnergyBand().Scale(1 / ns)
+}
+
+// LowPowerResidency returns the fraction of rank-cycles spent with CKE
+// low (any power-down state or self-refresh) during the measured window.
+func (r Result) LowPowerResidency() float64 {
+	return stats.Ratio(float64(r.Dev.LowPowerCycles()), float64(r.Dev.TotalRankCycles()))
+}
+
+// SelfRefreshResidency returns the fraction of rank-cycles spent in
+// self-refresh.
+func (r Result) SelfRefreshResidency() float64 {
+	return stats.Ratio(float64(r.Dev.SelfRefCycles), float64(r.Dev.TotalRankCycles()))
+}
 
 // RowHitRateRead returns the fraction of read requests served from an open
 // row (false hits count as misses, as in Section 5.2.1).

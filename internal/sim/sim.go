@@ -54,6 +54,25 @@ type Config struct {
 	NoPartialIO   bool
 	NoMaskCycle   bool
 
+	// Power-down and refresh management (DESIGN.md §4f; see
+	// memctrl.Config for the field semantics). The zero values reproduce
+	// the historical behavior: immediate fast-exit precharge power-down
+	// for idle ranks, no self-refresh, all-bank refresh.
+	PDPolicy    memctrl.PDPolicy
+	PDTimeout   int64 // idle memory cycles before PDTimed/PDQueueAware entry
+	SRTimeout   int64 // idle memory cycles before self-refresh (0 = never)
+	PDSlowExit  bool  // slow-exit (DLL-off) precharge power-down
+	APD         bool  // active power-down for idle ranks with open rows
+	RefreshMode memctrl.RefreshMode
+
+	// PowerCal selects the measurement-informed power-model calibration
+	// ("none", "vendor", "ghose", optionally with a device-variation
+	// sigma suffix like "ghose:10" — see power.ParseCalibration). It is
+	// applied post-hoc to the energy breakdown, so it cannot perturb
+	// simulated state; every energy result then carries a
+	// min/nominal/max band (Result.EnergyBand). Empty means "none".
+	PowerCal string
+
 	Cores        int   // total cores (4 in the paper)
 	ActiveCores  int   // cores that execute (1 for IPC_alone runs); 0 = all
 	InstrPerCore int64 // retire target per active core (after warmup)
@@ -123,6 +142,11 @@ func (c Config) Validate() error {
 	case c.Workload == "":
 		return fmt.Errorf("sim: workload is required")
 	}
+	if c.PowerCal != "" {
+		if _, err := power.ParseCalibration(c.PowerCal); err != nil {
+			return err
+		}
+	}
 	return c.CPU.Validate()
 }
 
@@ -165,6 +189,10 @@ type System struct {
 	skipped int64
 	ticks   int64
 
+	// cal is the parsed power-model calibration (Config.PowerCal),
+	// stamped into every Result so energy bands travel with the numbers.
+	cal power.Calibration
+
 	// cycle is the run loop's position. It lives on the System (not as a
 	// Run local) so Warmup and Measure can run as separate phases with a
 	// checkpoint in between; ticks carries the executed-tick budget across
@@ -190,6 +218,12 @@ func New(cfg Config) (*System, error) {
 	mcfg.NoTimingRelax = cfg.NoTimingRelax
 	mcfg.NoPartialIO = cfg.NoPartialIO
 	mcfg.NoMaskCycle = cfg.NoMaskCycle
+	mcfg.PDPolicy = cfg.PDPolicy
+	mcfg.PDTimeout = cfg.PDTimeout
+	mcfg.SRTimeout = cfg.SRTimeout
+	mcfg.PDSlowExit = cfg.PDSlowExit
+	mcfg.APD = cfg.APD
+	mcfg.RefreshMode = cfg.RefreshMode
 	if cfg.Timing != nil {
 		mcfg.Timing = *cfg.Timing
 	}
@@ -201,7 +235,11 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 
-	s := &System{cfg: cfg, ctrl: ctrl}
+	s := &System{cfg: cfg, ctrl: ctrl, cal: power.CalNone()}
+	if cfg.PowerCal != "" {
+		// Validate() already vetted the spec; re-parse for the value.
+		s.cal, _ = power.ParseCalibration(cfg.PowerCal)
+	}
 	var backend cache.Backend = ctrl
 	if cfg.Capture {
 		s.cap = &trace.Capture{Inner: ctrl, Now: func() int64 { return s.now - s.capBase }}
@@ -422,6 +460,7 @@ func (s *System) Measure() (Result, error) {
 		Dev:      s.ctrl.DeviceStats(),
 		Cache:    s.hier.Stats,
 		Energy:   s.ctrl.Energy(),
+		Cal:      s.cal,
 	}
 	for i := range s.cores {
 		res.CoreIPC[i] = float64(target) / float64(finish[i])

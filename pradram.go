@@ -21,6 +21,7 @@ package pradram
 
 import (
 	"pradram/internal/memctrl"
+	"pradram/internal/power"
 	"pradram/internal/sim"
 	"pradram/internal/workload"
 )
@@ -57,6 +58,49 @@ const (
 	OpenPage        = memctrl.OpenPage
 )
 
+// PDPolicy selects when idle ranks enter power-down (DESIGN.md §4f).
+type PDPolicy = memctrl.PDPolicy
+
+// The power-down entry policies.
+const (
+	// PDImmediate enters power-down as soon as a rank is idle and the
+	// entry is timing-legal (the default).
+	PDImmediate = memctrl.PDImmediate
+	// PDNone never powers ranks down (the pre-§4f behaviour).
+	PDNone = memctrl.PDNone
+	// PDTimed enters power-down after Config.PDTimeout idle memory cycles.
+	PDTimed = memctrl.PDTimed
+	// PDQueueAware enters immediately when the rank's queues are empty,
+	// after PDTimeout otherwise.
+	PDQueueAware = memctrl.PDQueueAware
+)
+
+// RefreshMode selects the refresh-management strategy.
+type RefreshMode = memctrl.RefreshMode
+
+// The refresh-management modes.
+const (
+	// RefreshAllBank issues conventional all-bank REF every tREFI (the
+	// default).
+	RefreshAllBank = memctrl.RefreshAllBank
+	// RefreshPerBank issues per-bank REFpb on a tREFI/Banks cadence,
+	// blocking one bank for tRFCpb instead of the rank for tRFC.
+	RefreshPerBank = memctrl.RefreshPerBank
+	// RefreshElastic postpones due refreshes while a rank has work and
+	// pulls them in before power-down, within the JEDEC 8×tREFI window.
+	RefreshElastic = memctrl.RefreshElastic
+)
+
+// Calibration scales a finished energy breakdown by per-component
+// correction factors, turning every energy figure into a min/nominal/max
+// Band (Result.EnergyBand, Result.PowerBandMW). Presets: "none", "vendor",
+// "ghose" (the real-device deviations of Ghose et al., arXiv:1807.05102),
+// optionally with ":P" percent device-to-device variation appended.
+type Calibration = power.Calibration
+
+// Band is a min/nominal/max interval produced by a Calibration.
+type Band = power.Band
+
 // Config describes one simulation run; see DefaultConfig.
 type Config = sim.Config
 
@@ -87,6 +131,22 @@ func ParseScheme(name string) (Scheme, error) { return memctrl.ParseScheme(name)
 
 // ParsePolicy resolves a policy name ("relaxed", "restricted").
 func ParsePolicy(name string) (Policy, error) { return memctrl.ParsePolicy(name) }
+
+// ParsePDPolicy resolves a power-down policy name ("immediate", "none",
+// "timeout", "queue").
+func ParsePDPolicy(name string) (PDPolicy, error) { return memctrl.ParsePDPolicy(name) }
+
+// ParseRefreshMode resolves a refresh mode name ("allbank", "perbank",
+// "elastic").
+func ParseRefreshMode(name string) (RefreshMode, error) { return memctrl.ParseRefreshMode(name) }
+
+// ParseCalibration resolves a calibration spec: a preset name ("none",
+// "vendor", "ghose"), optionally suffixed with ":P" to add ±P% device
+// variation (e.g. "ghose:10").
+func ParseCalibration(spec string) (Calibration, error) { return power.ParseCalibration(spec) }
+
+// Calibrations lists the calibration preset names.
+func Calibrations() []string { return power.Calibrations() }
 
 // DefaultConfig returns the paper's baseline 4-core system running the
 // named workload — one of Workloads() (run as four identical instances) or

@@ -32,8 +32,8 @@ func TestPublicAPIListings(t *testing.T) {
 	if len(pradram.WorkloadSets()) != 14 {
 		t.Errorf("sets = %v, want 14", pradram.WorkloadSets())
 	}
-	if len(pradram.Experiments()) != 17 {
-		t.Errorf("experiments = %d, want 17", len(pradram.Experiments()))
+	if len(pradram.Experiments()) != 19 {
+		t.Errorf("experiments = %d, want 19", len(pradram.Experiments()))
 	}
 }
 

@@ -43,7 +43,14 @@
 //
 // Measurements go to BENCH_warm.json.
 //
-// Usage: go run ./tools/benchgate [-speed|-warm] [-out FILE] [-count 5]
+// -power switches to the energy-band gate (power.go): a deterministic
+// configuration matrix is simulated and its calibrated min/nominal/max
+// power bands are compared against the checked-in golden table
+// (golden_power.json), so a change that silently shifts power-model
+// numbers fails CI until the table is regenerated (-update-power) and the
+// diff committed. Measurements go to BENCH_power.json.
+//
+// Usage: go run ./tools/benchgate [-speed|-warm|-power] [-out FILE] [-count 5]
 package main
 
 import (
@@ -161,11 +168,19 @@ var benchLine = regexp.MustCompile(`(?m)^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+([0-9.
 func main() {
 	speed := flag.Bool("speed", false, "run the cycle-skipping speed gate instead of the telemetry-overhead gate")
 	warm := flag.Bool("warm", false, "run the warmup-checkpointing speed gate instead of the telemetry-overhead gate")
-	out := flag.String("out", "", "where to write the measurement report (default BENCH_obs.json; BENCH_speed.json with -speed; BENCH_warm.json with -warm)")
+	pwr := flag.Bool("power", false, "run the energy-band golden-table gate instead of the telemetry-overhead gate")
+	out := flag.String("out", "", "where to write the measurement report (default BENCH_obs.json; BENCH_speed.json with -speed; BENCH_warm.json with -warm; BENCH_power.json with -power)")
 	count := flag.Int("count", 5, "benchmark repetitions (minimum is kept)")
+	updatePower, golden := powerFlags()
 	flag.Parse()
-	if *speed && *warm {
-		fmt.Fprintln(os.Stderr, "benchgate: -speed and -warm are mutually exclusive")
+	modes := 0
+	for _, m := range []bool{*speed, *warm, *pwr} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "benchgate: -speed, -warm, and -power are mutually exclusive")
 		os.Exit(1)
 	}
 	if *out == "" {
@@ -174,6 +189,8 @@ func main() {
 			*out = "BENCH_speed.json"
 		case *warm:
 			*out = "BENCH_warm.json"
+		case *pwr:
+			*out = "BENCH_power.json"
 		default:
 			*out = "BENCH_obs.json"
 		}
@@ -183,6 +200,8 @@ func main() {
 		runSpeed(*out, *count)
 	case *warm:
 		runWarm(*out, *count)
+	case *pwr:
+		runPower(*out, *golden, *updatePower)
 	default:
 		runObs(*out, *count)
 	}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"pradram/internal/memctrl"
+	"pradram/internal/power"
+	"pradram/internal/sim"
+)
+
+// The -power gate is CI's energy-accounting gate. Unlike the timing gates,
+// it compares *values*, not wall-clock: the simulator is deterministic, so
+// a small fixed-budget run produces the same energy breakdown on every
+// host, and the calibrated min/nominal/max bands derived from it form a
+// golden table (golden_power.json, checked in). The gate fails when
+//
+//   - any band is malformed (min > nominal or nominal > max),
+//   - the "none" calibration stops being the identity (non-zero spread, or
+//     a nominal that disagrees with the uncalibrated average power), or
+//   - any band edge drifts from its golden value by more than the relative
+//     tolerance — the "silent power-model drift" class of bug: a change
+//     that shifts energy numbers without anyone noticing or bumping
+//     ModelVersion.
+//
+// Intentional model changes regenerate the table with -update-power and
+// commit the diff, which makes every power-model change visible in review.
+
+// powerRelTol absorbs cross-architecture floating-point differences (the
+// simulation is deterministic, but float reassociation across compilers is
+// not guaranteed); real model changes move numbers by orders of magnitude
+// more.
+const powerRelTol = 0.001
+
+// powerBudget keeps the gate fast: four full-system runs of 60k measured
+// instructions each, a few seconds total.
+const (
+	powerInstr  = 60_000
+	powerWarmup = 20_000
+)
+
+type powerRow struct {
+	Workload    string  `json:"workload"`
+	Scheme      string  `json:"scheme"`
+	Calibration string  `json:"calibration"`
+	MinMW       float64 `json:"min_mw"`
+	NomMW       float64 `json:"nom_mw"`
+	MaxMW       float64 `json:"max_mw"`
+}
+
+type powerReport struct {
+	Rows       []powerRow `json:"rows"`
+	RelTol     float64    `json:"relative_tolerance"`
+	GoldenPath string     `json:"golden_path"`
+	Pass       bool       `json:"pass"`
+}
+
+// measurePower runs the gate's configuration matrix and expands each run
+// into one row per calibration preset. The runs enable immediate
+// power-down (the default policy) so the background-energy path under the
+// power-down FSM is part of what the golden table pins.
+func measurePower() ([]powerRow, error) {
+	var rows []powerRow
+	for _, wl := range []string{"GUPS", "bzip2"} {
+		for _, sch := range []memctrl.Scheme{memctrl.Baseline, memctrl.PRA} {
+			cfg := sim.DefaultConfig(wl)
+			cfg.Scheme = sch
+			cfg.InstrPerCore = powerInstr
+			cfg.WarmupPerCore = powerWarmup
+			res, err := sim.RunOne(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", wl, sch, err)
+			}
+			for _, spec := range []string{"none", "vendor", "ghose"} {
+				cal, err := power.ParseCalibration(spec)
+				if err != nil {
+					return nil, err
+				}
+				band := cal.Total(res.Energy).Scale(1 / res.RuntimeNs())
+				if band.Min > band.Nom || band.Nom > band.Max {
+					return nil, fmt.Errorf("%s/%v/%s: malformed band %+v", wl, sch, spec, band)
+				}
+				if spec == "none" {
+					if band.Spread() != 0 {
+						return nil, fmt.Errorf("%s/%v: 'none' calibration has non-zero spread %v", wl, sch, band.Spread())
+					}
+					if nom, raw := band.Nom, res.AvgPowerMW(); !within(nom, raw, 1e-9) {
+						return nil, fmt.Errorf("%s/%v: 'none' nominal %.6f mW != uncalibrated %.6f mW", wl, sch, nom, raw)
+					}
+				}
+				rows = append(rows, powerRow{
+					Workload: wl, Scheme: sch.String(), Calibration: spec,
+					MinMW: band.Min, NomMW: band.Nom, MaxMW: band.Max,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// within reports whether got is inside the relative tolerance of want.
+func within(got, want, tol float64) bool {
+	if want == 0 {
+		return math.Abs(got) <= tol
+	}
+	return math.Abs(got-want) <= tol*math.Abs(want)
+}
+
+func runPower(out, golden string, update bool) {
+	rows, err := measurePower()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	rep := powerReport{Rows: rows, RelTol: powerRelTol, GoldenPath: golden}
+
+	if update {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(golden, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		rep.Pass = true
+		writeReport(out, rep)
+		fmt.Printf("benchgate: regenerated %s (%d rows); commit the diff\n", golden, len(rows))
+		return
+	}
+
+	raw, err := os.ReadFile(golden)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: cannot read golden table %s: %v (run with -power -update-power to create it)\n", golden, err)
+		os.Exit(1)
+	}
+	var want []powerRow
+	if err := json.Unmarshal(raw, &want); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: corrupt golden table %s: %v\n", golden, err)
+		os.Exit(1)
+	}
+	wantByKey := make(map[string]powerRow, len(want))
+	for _, w := range want {
+		wantByKey[w.Workload+"/"+w.Scheme+"/"+w.Calibration] = w
+	}
+
+	rep.Pass = true
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+		rep.Pass = false
+	}
+	if len(rows) != len(want) {
+		fail("golden table has %d rows, gate produced %d (regenerate with -power -update-power)", len(want), len(rows))
+	}
+	for _, got := range rows {
+		key := got.Workload + "/" + got.Scheme + "/" + got.Calibration
+		w, ok := wantByKey[key]
+		if !ok {
+			fail("no golden row for %s (regenerate with -power -update-power)", key)
+			continue
+		}
+		if !within(got.MinMW, w.MinMW, powerRelTol) ||
+			!within(got.NomMW, w.NomMW, powerRelTol) ||
+			!within(got.MaxMW, w.MaxMW, powerRelTol) {
+			fail("%s drifted: got %.3f/%.3f/%.3f mW, golden %.3f/%.3f/%.3f mW (tol %.2g)",
+				key, got.MinMW, got.NomMW, got.MaxMW, w.MinMW, w.NomMW, w.MaxMW, powerRelTol)
+		}
+	}
+
+	writeReport(out, rep)
+	fmt.Printf("benchgate: %d power-band rows vs %s (tol %.2g) -> %s\n",
+		len(rows), golden, powerRelTol, map[bool]string{true: "PASS", false: "FAIL"}[rep.Pass])
+	if !rep.Pass {
+		fmt.Fprintln(os.Stderr, "benchgate: energy-band gate failed: the power model's numbers moved without a golden-table update; if the change is intentional, regenerate with -power -update-power and commit the diff")
+		os.Exit(1)
+	}
+}
+
+// powerFlags registers the -power mode's own flags; split out so main.go
+// stays a mode dispatcher.
+func powerFlags() (update *bool, golden *string) {
+	update = flag.Bool("update-power", false, "with -power: regenerate the golden table instead of gating against it")
+	golden = flag.String("golden", "tools/benchgate/golden_power.json", "with -power: path of the checked-in golden band table")
+	return
+}
