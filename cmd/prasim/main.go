@@ -75,7 +75,12 @@ func main() {
 		pdSlow    = flag.Bool("pd-slow", false, "use slow-exit (DLL-off) precharge power-down: lower IDD2P, tXPDLL exit")
 		apd       = flag.Bool("apd", false, "allow active power-down (CKE low with banks open) under the relaxed-close policy")
 		refMode   = flag.String("refresh-mode", "allbank", "refresh management: allbank | perbank | elastic")
-		powerCal  = flag.String("power-cal", "", "report calibrated energy bands: none | vendor | ghose[:pct] (empty = nominal only)")
+
+		mitThreshold = flag.Int("mit-threshold", 0, "RowHammer Alert/RFM mitigation: per-row activation threshold (0 = off)")
+		mitAlert     = flag.Int64("mit-alert", 0, "alert back-off in memory cycles before the RFM issues (0 = default 144)")
+		mitTable     = flag.Int("mit-table", 0, "per-bank activation-counter table capacity (0 = default 512)")
+
+		powerCal = flag.String("power-cal", "", "report calibrated energy bands: none | vendor | ghose[:pct] (empty = nominal only)")
 
 		epoch     = flag.Int64("epoch", 100_000, "telemetry sampling epoch in DRAM cycles (used with -timeline / -http)")
 		timeline  = flag.String("timeline", "", "write the per-epoch time-series to this file (.json for JSON, else CSV)")
@@ -87,6 +92,7 @@ func main() {
 
 	if *list {
 		fmt.Println("benchmarks:", pradram.Workloads())
+		fmt.Println("hammers:   ", pradram.Hammers())
 		fmt.Println("mixes:     ", pradram.Mixes())
 		return
 	}
@@ -137,6 +143,9 @@ func main() {
 		cfg.PDSlowExit = *pdSlow
 		cfg.APD = *apd
 		cfg.RefreshMode = rm
+		cfg.MitThreshold = *mitThreshold
+		cfg.MitAlertCycles = *mitAlert
+		cfg.MitTableCap = *mitTable
 		cfg.PowerCal = *powerCal
 		cfg.Obs = obsCfg
 		cfgs[i] = cfg
@@ -336,6 +345,14 @@ func report(w io.Writer, res pradram.Result) {
 	if res.Dev.PostponedRefreshes > 0 || res.Dev.PulledInRefreshes > 0 {
 		mem.Row("postponed/pulled-in", fmt.Sprintf("%d/%d", res.Dev.PostponedRefreshes, res.Dev.PulledInRefreshes))
 	}
+	if res.Ctrl.Alerts > 0 || res.Dev.RFMs > 0 {
+		mem.Row("mitigation alerts", res.Ctrl.Alerts)
+		mem.Row("RFM commands", res.Dev.RFMs)
+		mem.Row("alert stall cycles", res.Ctrl.AlertStallCycles)
+		if res.Dev.RowSpills > 0 {
+			mem.Row("counter-table spills", res.Dev.RowSpills)
+		}
+	}
 	mem.Row("low-power residency", fmt.Sprintf("%.1f%%", 100*res.LowPowerResidency()))
 	if res.Dev.SelfRefEntries > 0 {
 		mem.Row("self-refresh residency", fmt.Sprintf("%.1f%%", 100*res.SelfRefreshResidency()))
@@ -396,6 +413,11 @@ type jsonReport struct {
 	LowPowerResidency  float64 `json:"low_power_residency"`
 	SelfRefResidency   float64 `json:"selfref_residency"`
 
+	Alerts           int64 `json:"alerts,omitempty"`
+	AlertStallCycles int64 `json:"alert_stall_cycles,omitempty"`
+	RFMs             int64 `json:"rfms,omitempty"`
+	RowSpills        int64 `json:"row_spills,omitempty"`
+
 	PowerCal    string      `json:"power_cal,omitempty"`
 	PowerBandMW *[3]float64 `json:"power_band_mw,omitempty"` // min, nominal, max
 }
@@ -432,6 +454,11 @@ func emitJSON(w io.Writer, res pradram.Result) error {
 		PulledInRefreshes:  res.Dev.PulledInRefreshes,
 		LowPowerResidency:  res.LowPowerResidency(),
 		SelfRefResidency:   res.SelfRefreshResidency(),
+
+		Alerts:           res.Ctrl.Alerts,
+		AlertStallCycles: res.Ctrl.AlertStallCycles,
+		RFMs:             res.Dev.RFMs,
+		RowSpills:        res.Dev.RowSpills,
 	}
 	if res.Cal.Name != "" && res.Cal.Name != "none" {
 		band := res.PowerBandMW()

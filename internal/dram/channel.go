@@ -100,6 +100,11 @@ type Stats struct {
 	// drive (8 per write).
 	WordsWritten int64
 	WordBudget   int64
+	// RFMs counts Refresh Management commands (rowcounter.go); RowSpills
+	// counts activations the bounded per-row counter table absorbed into
+	// its spill floor instead of tracking exactly.
+	RFMs      int64
+	RowSpills int64
 }
 
 // Activations returns the total number of row activations.
@@ -187,6 +192,11 @@ type Channel struct {
 	acctUpTo int64 // background energy accounted up to this cycle
 
 	perBank []BankCount // indexed rank*Banks+bank
+
+	// rowCtr is the optional per-row activation counter table set
+	// (rowcounter.go); nil unless TrackRows enabled it. Counter contents
+	// are simulation state: they survive ResetStats and are checkpointed.
+	rowCtr *rowCounters
 
 	Stats Stats
 }
@@ -443,6 +453,7 @@ func (c *Channel) Activate(at int64, r, b, row int, mask core.Mask, halfDRAM boo
 	c.Acc.Activation(mask.Granularity(), halfDRAM, float64(c.T.TRC)*c.T.TCKNs)
 	c.Stats.ActsByGranularity[mask.Granularity()]++
 	c.perBank[r*c.G.Banks+b].Act++
+	c.rowCtrOnAct(r, b, row)
 	c.emit(CmdEvent{At: at, Kind: CmdAct, Rank: r, Bank: b, Row: row, Mask: mask})
 	return nil
 }
@@ -706,6 +717,7 @@ func (c *Channel) Refresh(at int64, r int) error {
 	c.cmdFree = at + 1
 	c.Acc.Refresh(float64(c.T.TRFC) * c.T.TCKNs)
 	c.Stats.Refreshes++
+	c.rowCtrResetRank(r)
 	c.emit(CmdEvent{At: at, Kind: CmdRef, Rank: r})
 	return nil
 }
@@ -759,6 +771,7 @@ func (c *Channel) RefreshBank(at int64, r int) error {
 	c.cmdFree = at + 1
 	c.Acc.Refresh(float64(c.T.TRFCPB) * c.T.TCKNs / float64(c.G.Banks))
 	c.Stats.PerBankRefreshes++
+	c.rowCtrResetBank(r, b)
 	c.emit(CmdEvent{At: at, Kind: CmdRef, Rank: r, Bank: b})
 	return nil
 }

@@ -28,6 +28,7 @@ type Timing struct {
 	TXPDLL int // slow precharge power-down exit (DLL frozen) to first command
 	TXS    int // self-refresh exit to first command
 	TCKE   int // minimum CKE pulse width (residency in/out of power-down)
+	TRFM   int // refresh-management (RFM) blocking time (0 = tRFCpb, then tRFC)
 
 	// PRAMaskCycles is the extra command-cycle cost of a partial
 	// activation: the PRA mask rides the address bus the cycle after the
@@ -64,6 +65,7 @@ func DefaultTiming() Timing {
 		TXPDLL:        20,   // 24 ns slow (DLL-off) precharge power-down exit
 		TXS:           136,  // tRFC + 10 ns: self-refresh exit
 		TCKE:          4,    // 5 ns minimum CKE pulse width
+		TRFM:          72,   // 90 ns refresh-management burst (a few victim rows)
 		PRAMaskCycles: 1,
 	}
 }
@@ -81,7 +83,7 @@ func (t Timing) Validate() error {
 		return fmt.Errorf("dram: TFAW (%d) < TRRD (%d)", t.TFAW, t.TRRD)
 	case t.TREFI <= t.TRFC:
 		return fmt.Errorf("dram: TREFI (%d) must exceed TRFC (%d)", t.TREFI, t.TRFC)
-	case t.TXP < 0 || t.TXPDLL < 0 || t.TXS < 0 || t.TCKE < 0 || t.TRFCPB < 0:
+	case t.TXP < 0 || t.TXPDLL < 0 || t.TXS < 0 || t.TCKE < 0 || t.TRFCPB < 0 || t.TRFM < 0:
 		return fmt.Errorf("dram: power-down/refresh timings must be non-negative")
 	case t.TXPDLL != 0 && t.TXPDLL < t.TXP:
 		return fmt.Errorf("dram: TXPDLL (%d) < TXP (%d): slow exit cannot beat fast exit", t.TXPDLL, t.TXP)

@@ -195,5 +195,9 @@ func (c *Channel) EnterSelfRefresh(now int64, r int) bool {
 	}
 	c.enterPD(now, rk, PDSelfRefresh)
 	c.Stats.SelfRefEntries++
+	// The device's internal refresh engine takes over and walks every row
+	// during self-refresh, so the disturbance windows restart: clear the
+	// rank's per-row activation counters (rowcounter.go).
+	c.rowCtrResetRank(r)
 	return true
 }

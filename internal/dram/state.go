@@ -48,6 +48,23 @@ func (c *Channel) SaveState(w *checkpoint.Writer) {
 			w.I64(bk.preAllowed)
 		}
 	}
+	// Per-row activation counter tables (rowcounter.go): counter contents
+	// are simulation state, not statistics — a restored run must alert and
+	// RFM at exactly the cycles the monolithic run would (ckptFormat v3).
+	// Tracked rows serialize in ascending row order for determinism.
+	w.Bool(c.rowCtr != nil)
+	if c.rowCtr != nil {
+		for i := range c.rowCtr.tables {
+			t := &c.rowCtr.tables[i]
+			rows := c.rowCtr.sortedRows(i)
+			w.Count(len(rows))
+			for _, row := range rows {
+				w.Int(row)
+				w.I64(t.counts[row])
+			}
+			w.I64(t.spill)
+		}
+	}
 }
 
 // RestoreState decodes a SaveState payload into temporaries and returns a
@@ -120,6 +137,38 @@ func (c *Channel) RestoreState(r *checkpoint.Reader) (func(), error) {
 			}
 		}
 	}
+	tracking := r.Bool()
+	if tracking != (c.rowCtr != nil) {
+		r.Fail("dram: checkpoint row tracking %v, channel has %v", tracking, c.rowCtr != nil)
+	}
+	var rowCtr *rowCounters
+	if tracking && r.Err() == nil {
+		rowCtr = newRowCounters(c.rowCtr.cap, c.G.Ranks*c.G.Banks)
+		for i := range rowCtr.tables {
+			t := &rowCtr.tables[i]
+			n := r.Count()
+			if n > rowCtr.cap {
+				r.Fail("dram: row counter table %d holds %d of %d rows", i, n, rowCtr.cap)
+				n = 0
+			}
+			prev := -1
+			for j := 0; j < n; j++ {
+				row := r.Int()
+				cnt := r.I64()
+				if row <= prev || row >= c.G.Rows {
+					r.Fail("dram: row counter table %d row %d (prev %d, rows %d)", i, row, prev, c.G.Rows)
+				}
+				if cnt <= 0 {
+					r.Fail("dram: row counter table %d row %d count %d", i, row, cnt)
+				}
+				t.counts[row] = cnt
+				prev = row
+			}
+			if t.spill = r.I64(); t.spill < 0 {
+				r.Fail("dram: row counter table %d spill %d", i, t.spill)
+			}
+		}
+	}
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
@@ -130,5 +179,8 @@ func (c *Channel) RestoreState(r *checkpoint.Reader) (func(), error) {
 		c.busRank = busRank
 		c.acctUpTo = acctUpTo
 		c.ranks = ranks
+		if tracking {
+			c.rowCtr = rowCtr
+		}
 	}, nil
 }

@@ -16,6 +16,7 @@ const (
 	CmdWrite                // column write
 	CmdPre                  // bank precharge
 	CmdRef                  // refresh
+	CmdRFM                  // refresh management (RowHammer mitigation)
 )
 
 // String returns the command's mnemonic ("ACT", "RD", ...).
@@ -31,6 +32,8 @@ func (k CmdKind) String() string {
 		return "PRE"
 	case CmdRef:
 		return "REF"
+	case CmdRFM:
+		return "RFM"
 	}
 	return fmt.Sprintf("Cmd(%d)", int(k))
 }

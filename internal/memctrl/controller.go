@@ -58,6 +58,28 @@ type Config struct {
 	// pull-in within the JEDEC 8x tREFI window) refresh management.
 	RefreshMode RefreshMode
 
+	// RowHammer mitigation (DESIGN.md §4g): PRAC-style per-row activation
+	// counting with Alert/RFM back-off, orthogonal to Scheme (any scheme
+	// can run with or without it). MitThreshold == 0 disables everything:
+	// no counter table is allocated and results are bit-identical to a
+	// build without the feature.
+	//
+	// When a row's activation count since its bank's last refresh reaches
+	// MitThreshold, the device raises an alert: the channel's command
+	// stream stalls for MitAlertCycles (the ALERT_n back-off real PRAC
+	// devices enforce), after which the controller issues an RFM command
+	// to the offending bank (precharging it first if needed) that
+	// refreshes the highest-count row's victims and clears its counter.
+	MitThreshold int
+	// MitAlertCycles is the alert back-off in memory cycles before the
+	// RFM may issue (0 selects the default 144 cycles = 180ns, the
+	// per-alert overhead measured on real PRAC parts).
+	MitAlertCycles int64
+	// MitTableCap bounds the per-bank counter table (0 selects the
+	// default 512 rows). Overflow falls back to a Misra-Gries spill floor
+	// that may overcount but never undercounts a row (dram/rowcounter.go).
+	MitTableCap int
+
 	// Ablation knobs (all default off = full PRA as published). They
 	// isolate the contribution of each PRA design element:
 	//   NoTimingRelax  — partial ACTs charge full tRRD/tFAW weight.
@@ -108,6 +130,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("memctrl: power-down timeouts must be non-negative")
 	case (c.PDPolicy == PDTimed || c.PDPolicy == PDQueueAware) && c.PDTimeout == 0:
 		return fmt.Errorf("memctrl: %v power-down policy requires PDTimeout > 0", c.PDPolicy)
+	case c.MitThreshold < 0 || c.MitAlertCycles < 0 || c.MitTableCap < 0:
+		return fmt.Errorf("memctrl: mitigation parameters must be non-negative")
 	}
 	if err := c.Timing.Validate(); err != nil {
 		return err
@@ -125,6 +149,11 @@ type Stats struct {
 	ReadRejects, WriteRejects   int64
 	ReadLatencySum              int64 // memory cycles, arrival to data
 	ActsForReads, ActsForWrites int64
+	// Alerts counts mitigation alerts (threshold crossings) and
+	// AlertStallCycles the memory cycles the command stream spent in
+	// alert back-off (MitAlertCycles per alert, by construction).
+	Alerts           int64
+	AlertStallCycles int64
 }
 
 // Add accumulates other into s.
@@ -141,6 +170,8 @@ func (s *Stats) Add(o Stats) {
 	s.ReadLatencySum += o.ReadLatencySum
 	s.ActsForReads += o.ActsForReads
 	s.ActsForWrites += o.ActsForWrites
+	s.Alerts += o.Alerts
+	s.AlertStallCycles += o.AlertStallCycles
 }
 
 type request struct {
@@ -194,6 +225,13 @@ type chanCtl struct {
 	// nothing and disarmed (0) on every enqueue or issued command.
 	nextWake int64
 	wakeMin  int64 // candidate collected during the current pass
+
+	// Alert/RFM mitigation FSM (mitigation.go): while rfmPending, the
+	// command stream is stalled until alertUntil, then an RFM issues to
+	// bank (rfmRank, rfmBank). Checkpointed (state.go).
+	rfmPending       bool
+	rfmRank, rfmBank int
+	alertUntil       int64
 
 	// ev/scope are the structured event hook (nil/"" when tracing is off);
 	// see AttachObs. Emission sites guard with ev.Enabled, which is
@@ -340,6 +378,9 @@ func New(cfg Config) (*Controller, error) {
 		}
 		ch.NoWeightedFAW = cfg.NoTimingRelax
 		ch.SlowExitPD = cfg.PDSlowExit
+		if cfg.MitThreshold > 0 {
+			ch.TrackRows(cfg.mitTableCap())
+		}
 		switch cfg.RefreshMode {
 		case RefreshPerBank:
 			ch.RefMode = dram.RefPerBank
@@ -592,6 +633,8 @@ func (c *Controller) DeviceStats() dram.Stats {
 		s.PrechargedRankCycles += d.PrechargedRankCycles
 		s.WordsWritten += d.WordsWritten
 		s.WordBudget += d.WordBudget
+		s.RFMs += d.RFMs
+		s.RowSpills += d.RowSpills
 	}
 	return s
 }
@@ -689,6 +732,12 @@ func (cc *chanCtl) tick(mem int64) {
 func (cc *chanCtl) schedule(mem int64) bool {
 	if cc.issueRefresh(mem) {
 		return true
+	}
+	// Alert back-off (mitigation.go): a raised alert stalls everything
+	// but refresh — refresh keeps priority so mitigation can never starve
+	// the retention deadline — until the RFM has issued.
+	if cc.rfmPending {
+		return cc.issueRFM(mem)
 	}
 	primary, secondary := &cc.readQ, &cc.writeQ
 	if cc.drain || len(cc.readQ) == 0 {
@@ -1090,6 +1139,7 @@ func (cc *chanCtl) tryPrep(mem int64, q *[]*request) bool {
 			} else {
 				cc.stats.ActsForWrites++
 			}
+			cc.mitOnAct(mem, l)
 			return true
 		}
 		sameRow := row == l.Row

@@ -32,6 +32,7 @@ const (
 	LineInterleaved
 )
 
+// String returns the mapping's canonical name.
 func (m Mapping) String() string {
 	if m == RowInterleaved {
 		return "row-interleaved"

@@ -50,6 +50,9 @@ func (c *Controller) AttachObs(rec *obs.Recorder, ev *obs.EventLog) {
 	rec.Counter("false_hit_write", sum(func(s *Stats) int64 { return s.FalseHitWrite }))
 	rec.Counter("acts_for_reads", sum(func(s *Stats) int64 { return s.ActsForReads }))
 	rec.Counter("acts_for_writes", sum(func(s *Stats) int64 { return s.ActsForWrites }))
+	// RowHammer mitigation (mitigation.go): alert and back-off overhead.
+	rec.Counter("alerts", sum(func(s *Stats) int64 { return s.Alerts }))
+	rec.Counter("alert_stall_cycles", sum(func(s *Stats) int64 { return s.AlertStallCycles }))
 
 	// Partial-activation fraction-opened histogram (Figure 11 over time):
 	// act_gran_g counts activations that opened g/8 of a row this epoch.
@@ -85,6 +88,8 @@ func (c *Controller) AttachObs(rec *obs.Recorder, ev *obs.EventLog) {
 	rec.Counter("activepd_rank_cycles", dsum(func(s *dram.Stats) int64 { return s.ActivePDCycles }))
 	rec.Counter("slowpd_rank_cycles", dsum(func(s *dram.Stats) int64 { return s.SlowPDCycles }))
 	rec.Counter("selfref_rank_cycles", dsum(func(s *dram.Stats) int64 { return s.SelfRefCycles }))
+	rec.Counter("rfms", dsum(func(s *dram.Stats) int64 { return s.RFMs }))
+	rec.Counter("row_spills", dsum(func(s *dram.Stats) int64 { return s.RowSpills }))
 
 	// Energy components: activate vs background (vs refresh) attribution
 	// per epoch, plus the total.

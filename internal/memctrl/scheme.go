@@ -39,6 +39,7 @@ var schemeNames = map[Scheme]string{
 	PRA: "pra", HalfDRAMPRA: "halfdram+pra", SDS: "sds",
 }
 
+// String returns the scheme's canonical name (the one ParseScheme accepts).
 func (s Scheme) String() string {
 	if n, ok := schemeNames[s]; ok {
 		return n
@@ -109,6 +110,7 @@ const (
 	OpenPage
 )
 
+// String returns the policy's canonical name (the one ParsePolicy accepts).
 func (p Policy) String() string {
 	switch p {
 	case RelaxedClose:

@@ -70,6 +70,13 @@ func (c *Controller) SaveState(w *checkpoint.Writer) {
 			w.I64(t)
 		}
 		w.I64(cc.nextWake)
+		// Alert/RFM mitigation FSM (mitigation.go), ckptFormat v3: a
+		// restored run must wait out an in-flight back-off and issue the
+		// pending RFM exactly like the monolithic run.
+		w.Bool(cc.rfmPending)
+		w.Int(cc.rfmRank)
+		w.Int(cc.rfmBank)
+		w.I64(cc.alertUntil)
 	}
 }
 
@@ -128,6 +135,9 @@ func (c *Controller) RestoreState(r *checkpoint.Reader, fillResolve func(lineID 
 		refPending              []bool
 		lastWork                []int64
 		nextWake                int64
+		rfmPending              bool
+		rfmRank, rfmBank        int
+		alertUntil              int64
 	}
 	states := make([]chanState, len(c.chans))
 	for i, cc := range c.chans {
@@ -173,6 +183,17 @@ func (c *Controller) RestoreState(r *checkpoint.Reader, fillResolve func(lineID 
 			st.lastWork[j] = r.I64()
 		}
 		st.nextWake = r.I64()
+		st.rfmPending = r.Bool()
+		st.rfmRank = r.Int()
+		st.rfmBank = r.Int()
+		st.alertUntil = r.I64()
+		if st.rfmPending && (st.rfmRank < 0 || st.rfmRank >= c.cfg.Geom.Ranks ||
+			st.rfmBank < 0 || st.rfmBank >= c.cfg.Geom.Banks) {
+			r.Fail("memctrl: pending RFM target rank %d bank %d out of range", st.rfmRank, st.rfmBank)
+		}
+		if st.rfmPending && c.cfg.MitThreshold <= 0 {
+			r.Fail("memctrl: pending RFM with mitigation disabled")
+		}
 	}
 	if err := r.Err(); err != nil {
 		return nil, err
@@ -197,6 +218,10 @@ func (c *Controller) RestoreState(r *checkpoint.Reader, fillResolve func(lineID 
 			copy(cc.refPending, st.refPending)
 			copy(cc.lastWork, st.lastWork)
 			cc.nextWake = st.nextWake
+			cc.rfmPending = st.rfmPending
+			cc.rfmRank = st.rfmRank
+			cc.rfmBank = st.rfmBank
+			cc.alertUntil = st.alertUntil
 			cc.freeReq = nil
 			// Recompute the derived occupancy indices (forwarded reads are
 			// never counted — they bypassed noteAdd on enqueue).

@@ -62,6 +62,12 @@ type warmupKey struct {
 	PDSlowExit  bool
 	APD         bool
 	RefreshMode memctrl.RefreshMode
+
+	// RowHammer mitigation parameters steer alert/RFM decisions during
+	// warmup, and the counter-table capacity shapes the serialized tables.
+	MitThreshold   int
+	MitAlertCycles int64
+	MitTableCap    int
 }
 
 // timingOrDefault returns the effective DDR3 timing set (Config.Timing,
@@ -83,27 +89,30 @@ func WarmupFingerprint(cfg Config) (string, bool) {
 		return "", false
 	}
 	key := warmupKey{
-		Workload:      workload.Canonical(cfg.Workload),
-		Scheme:        cfg.Scheme,
-		Policy:        cfg.Policy,
-		DBI:           cfg.DBI,
-		NoTimingRelax: cfg.NoTimingRelax,
-		NoMaskCycle:   cfg.NoMaskCycle,
-		Cores:         cfg.Cores,
-		ActiveCores:   cfg.ActiveCores,
-		WarmupPerCore: cfg.WarmupPerCore,
-		Seed:          cfg.Seed,
-		CPU:           cfg.CPU,
-		Timing:        cfg.timingOrDefault(),
-		CPUPerMem:     memctrl.DefaultConfig().CPUPerMem,
-		NoSkip:        cfg.NoSkip,
-		MaxCycles:     cfg.MaxCycles,
-		PDPolicy:      cfg.PDPolicy,
-		PDTimeout:     cfg.PDTimeout,
-		SRTimeout:     cfg.SRTimeout,
-		PDSlowExit:    cfg.PDSlowExit,
-		APD:           cfg.APD,
-		RefreshMode:   cfg.RefreshMode,
+		Workload:       workload.Canonical(cfg.Workload),
+		Scheme:         cfg.Scheme,
+		Policy:         cfg.Policy,
+		DBI:            cfg.DBI,
+		NoTimingRelax:  cfg.NoTimingRelax,
+		NoMaskCycle:    cfg.NoMaskCycle,
+		Cores:          cfg.Cores,
+		ActiveCores:    cfg.ActiveCores,
+		WarmupPerCore:  cfg.WarmupPerCore,
+		Seed:           cfg.Seed,
+		CPU:            cfg.CPU,
+		Timing:         cfg.timingOrDefault(),
+		CPUPerMem:      memctrl.DefaultConfig().CPUPerMem,
+		NoSkip:         cfg.NoSkip,
+		MaxCycles:      cfg.MaxCycles,
+		PDPolicy:       cfg.PDPolicy,
+		PDTimeout:      cfg.PDTimeout,
+		SRTimeout:      cfg.SRTimeout,
+		PDSlowExit:     cfg.PDSlowExit,
+		APD:            cfg.APD,
+		RefreshMode:    cfg.RefreshMode,
+		MitThreshold:   cfg.MitThreshold,
+		MitAlertCycles: cfg.MitAlertCycles,
+		MitTableCap:    cfg.MitTableCap,
 	}
 	if key.ActiveCores == 0 {
 		key.ActiveCores = key.Cores
@@ -120,7 +129,7 @@ func WarmupFingerprint(cfg Config) (string, bool) {
 // by ModelVersion, which is embedded alongside.
 const (
 	ckptMagic  = "pradram-ckpt"
-	ckptFormat = 2 // v2: power-down FSM rank fields + per-rank idle clocks
+	ckptFormat = 3 // v3: per-row activation counters + alert/RFM FSM fields
 )
 
 // Checkpoint serializes the system's complete post-warmup state. It must

@@ -269,6 +269,11 @@ func TestWarmupFingerprintFields(t *testing.T) {
 		"APD":           {mutate: func(c *Config) { c.APD = true }, wantChange: true},
 		"RefreshMode":   {mutate: func(c *Config) { c.RefreshMode = memctrl.RefreshPerBank }, wantChange: true},
 		"PowerCal":      {mutate: func(c *Config) { c.PowerCal = "ghose" }, wantChange: false},
+		// Mitigation steers alert/RFM scheduling during warmup, and the
+		// table capacity shapes the checkpointed counter tables.
+		"MitThreshold":   {mutate: func(c *Config) { c.MitThreshold = 32 }, wantChange: true},
+		"MitAlertCycles": {mutate: func(c *Config) { c.MitThreshold = 32; c.MitAlertCycles = 288 }, wantChange: true},
+		"MitTableCap":    {mutate: func(c *Config) { c.MitThreshold = 32; c.MitTableCap = 64 }, wantChange: true},
 	}
 
 	typ := reflect.TypeOf(Config{})

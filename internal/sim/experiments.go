@@ -167,6 +167,12 @@ type runKey struct {
 	apd       bool
 	refMode   memctrl.RefreshMode
 	powerCal  string
+
+	// RowHammer mitigation (the hammer experiment); zero values keep the
+	// key string unchanged, like the power-down block above.
+	mitThreshold int
+	mitAlert     int64
+	mitTable     int
 }
 
 func (k runKey) String() string {
@@ -175,6 +181,9 @@ func (k runKey) String() string {
 	if k.pdPolicy != 0 || k.pdTimeout != 0 || k.srTimeout != 0 || k.slowPD || k.apd || k.refMode != 0 {
 		s += fmt.Sprintf("/pd=%v,%d,%d,slow=%v,apd=%v,ref=%v",
 			k.pdPolicy, k.pdTimeout, k.srTimeout, k.slowPD, k.apd, k.refMode)
+	}
+	if k.mitThreshold != 0 || k.mitAlert != 0 || k.mitTable != 0 {
+		s += fmt.Sprintf("/mit=%d,%d,%d", k.mitThreshold, k.mitAlert, k.mitTable)
 	}
 	if k.powerCal != "" {
 		s += "/cal=" + k.powerCal
@@ -239,6 +248,9 @@ func (r *Runner) config(k runKey) Config {
 	cfg.PDSlowExit = k.slowPD
 	cfg.APD = k.apd
 	cfg.RefreshMode = k.refMode
+	cfg.MitThreshold = k.mitThreshold
+	cfg.MitAlertCycles = k.mitAlert
+	cfg.MitTableCap = k.mitTable
 	cfg.PowerCal = k.powerCal
 	cfg.Obs = r.opt.Obs
 	cfg.NoSkip = r.opt.NoSkip
@@ -338,6 +350,7 @@ func Experiments() []Experiment {
 		{"speedgrades", "Speed grades: PRA savings across DDR3 data rates", ExpSpeedGrades, nil},
 		{"pdsweep", "Power-down & refresh management: policy sweep (residency, energy)", ExpPDSweep, keysPDSweep},
 		{"powerband", "Calibrated power bands: min/nominal/max under each correction set", ExpPowerBand, keysPowerBand},
+		{"hammer", "RowHammer mitigation overhead: Alert/RFM under attack, PRA on/off", ExpHammer, keysHammer},
 	}
 }
 

@@ -14,8 +14,8 @@ func tinyRunner() *Runner {
 func TestExperimentRegistry(t *testing.T) {
 	t.Parallel()
 	exps := Experiments()
-	if len(exps) != 19 {
-		t.Fatalf("have %d experiments, want 19", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("have %d experiments, want 20", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

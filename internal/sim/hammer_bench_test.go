@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+// Full-system wall-clock benchmarks for the Alert/RFM mitigation, paired
+// on/off so tools/benchgate -hammer can gate on their ratio without a
+// stored hardware baseline:
+//
+//   - The attack pair (single-core HammerSingle, the experiment's
+//     threshold armed) bounds what defending an active attack may cost in
+//     simulator wall clock: counter updates on every ACT, plus the extra
+//     simulated work of the alerts and RFMs themselves.
+//   - The benign pair (single-core GUPS, same threshold, which never
+//     fires) is the tighter gate: with no alerts the only added cost is
+//     the per-activation counter-table update, which must stay near free
+//     relative to the whole simulation.
+//
+// Runs are deterministic, so every iteration does identical work and
+// ns/op differences are pure host effects.
+
+func hammerBenchCfg(workload string, mitigate bool) Config {
+	cfg := DefaultConfig(workload)
+	cfg.InstrPerCore = 30_000
+	cfg.WarmupPerCore = 0
+	cfg.Cores = 1
+	if mitigate {
+		cfg.MitThreshold = hammerMitThreshold
+	}
+	return cfg
+}
+
+func benchHammer(b *testing.B, workload string, mitigate bool) {
+	b.Helper()
+	cfg := hammerBenchCfg(workload, mitigate)
+	for i := 0; i < b.N; i++ {
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mitigate && workload == "HammerSingle" && res.Ctrl.Alerts == 0 {
+			b.Fatal("attack benchmark raised no alerts; the overhead pair is vacuous")
+		}
+	}
+}
+
+func BenchmarkHammerAttackOff(b *testing.B) { benchHammer(b, "HammerSingle", false) }
+func BenchmarkHammerAttackOn(b *testing.B)  { benchHammer(b, "HammerSingle", true) }
+func BenchmarkHammerBenignOff(b *testing.B) { benchHammer(b, "GUPS", false) }
+func BenchmarkHammerBenignOn(b *testing.B)  { benchHammer(b, "GUPS", true) }

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestHammerGolden pins the exact bytes of the hammer experiment's
+// mitigation-overhead table at a small fixed budget, the same way
+// TestFig9Golden pins a published-number table: no refactor of the
+// experiment layer, the mitigation scheme, or the adversarial generators
+// may change the table without a deliberate golden update
+// (go test ./internal/sim -run HammerGolden -update). Unlike fig9 this
+// table comes from real simulation, so the golden bytes are specific to
+// the budget below — but they must never depend on the worker count.
+func TestHammerGolden(t *testing.T) {
+	t.Parallel()
+	e, err := ExperimentByID("hammer")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := ExpOptions{Instr: 4_000, Seed: 1}
+	opt.Workers = 1
+	seqOut, err := NewRunner(opt).RunExperiment(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 4
+	parOut, err := NewRunner(opt).RunExperiment(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqOut != parOut {
+		t.Fatalf("hammer output depends on the worker count:\n-j1:\n%s\n-j4:\n%s", seqOut, parOut)
+	}
+
+	path := filepath.Join("testdata", "hammer.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(seqOut), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if seqOut != string(want) {
+		t.Errorf("hammer output drifted from golden file (run with -update if intentional):\n--- got ---\n%s\n--- want ---\n%s", seqOut, want)
+	}
+}

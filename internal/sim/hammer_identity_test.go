@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"testing"
+
+	"pradram/internal/memctrl"
+)
+
+// Bit-identity matrices for the Alert/RFM mitigation (DESIGN.md §4g),
+// extending the two determinism contracts — fast-forwarding and
+// checkpoint restore change nothing observable — over the new scheme
+// crossed with the adversarial workloads. The mitigation is the hard case
+// for both: the alert back-off stalls the command stream on a deadline
+// only the triggering ACT knows, and the counter tables plus the RFM FSM
+// are state a checkpoint must carry exactly.
+
+// mitIdentityVariants spans the mitigation feature space. Every variant
+// arms the threshold the hammer experiment uses; the rest probe the
+// interactions most likely to break identity — a table small enough to
+// spill, a back-off long enough to cross epoch boundaries, and the
+// alternative refresh modes with power-down in play (counter resets ride
+// on REF/REFpb/self-refresh).
+func mitIdentityVariants() []struct {
+	name string
+	mod  func(*Config)
+} {
+	arm := func(c *Config) { c.MitThreshold = hammerMitThreshold }
+	return []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"alert-rfm", arm},
+		{"tiny-table", func(c *Config) { arm(c); c.MitTableCap = 64 }},
+		{"long-backoff", func(c *Config) { arm(c); c.MitAlertCycles = 600 }},
+		{"perbank", func(c *Config) { arm(c); c.RefreshMode = memctrl.RefreshPerBank }},
+		{"elastic-pd", func(c *Config) {
+			arm(c)
+			c.RefreshMode = memctrl.RefreshElastic
+			c.PDSlowExit = true
+			c.APD = true
+		}},
+	}
+}
+
+// mitIdentityCells pairs workloads with the variants worth crossing: the
+// base alert-rfm cell for every hammer pattern plus the benign control,
+// and the full variant fan for one aggressive hammer. RowStorm rides with
+// the tiny table so the spill path (untracked rows alerting off the
+// Misra-Gries floor) is in the matrix too.
+func mitIdentityCells() []struct {
+	workload, variant string
+} {
+	cells := []struct{ workload, variant string }{
+		{"HammerSingle", "alert-rfm"},
+		{"HammerDouble", "alert-rfm"},
+		{"HammerDecoy", "alert-rfm"},
+		{"RowStorm", "tiny-table"},
+		{"GUPS", "alert-rfm"},
+		{"HammerSingle", "tiny-table"},
+		{"HammerSingle", "long-backoff"},
+		{"HammerSingle", "perbank"},
+		{"HammerSingle", "elastic-pd"},
+	}
+	return cells
+}
+
+func mitVariantByName(t *testing.T, name string) func(*Config) {
+	t.Helper()
+	for _, v := range mitIdentityVariants() {
+		if v.name == name {
+			return v.mod
+		}
+	}
+	t.Fatalf("unknown mitigation variant %q", name)
+	return nil
+}
+
+// TestMitigationSkipBitIdentityMatrix: a fast-forwarded run under active
+// mitigation must match a per-cycle run bit for bit. The hammer cells
+// additionally prove the mitigation engaged (alerts > 0), so no cell
+// passes vacuously.
+func TestMitigationSkipBitIdentityMatrix(t *testing.T) {
+	t.Parallel()
+	cells := mitIdentityCells()
+	if testing.Short() {
+		// The two cells with the most moving parts: spill-path alerts and
+		// mitigation crossed with the power-down/elastic-refresh FSMs.
+		cells = []struct{ workload, variant string }{
+			{"RowStorm", "tiny-table"},
+			{"HammerSingle", "elastic-pd"},
+		}
+	}
+	for _, sch := range []memctrl.Scheme{memctrl.Baseline, memctrl.PRA} {
+		for _, cell := range cells {
+			sch, cell := sch, cell
+			t.Run(cell.workload+"/"+sch.String()+"/"+cell.variant, func(t *testing.T) {
+				t.Parallel()
+				cfg := skipCfg(cell.workload)
+				cfg.Scheme = sch
+				mitVariantByName(t, cell.variant)(&cfg)
+				skip, noskip, rs, rn := runBoth(t, cfg)
+				checkIdentical(t, skip, noskip, rs, rn)
+				if cell.workload != "GUPS" && rs.Ctrl.Alerts == 0 {
+					t.Error("hammer cell raised no alerts; the mitigation identity check is vacuous")
+				}
+				if cell.variant == "tiny-table" && rs.Dev.RowSpills == 0 {
+					t.Error("tiny-table cell never spilled; the overflow path is untested")
+				}
+			})
+		}
+	}
+}
+
+// TestMitigationCheckpointBitIdentityMatrix: warmup → checkpoint →
+// restore → measure must equal a monolithic run for every mitigation
+// cell. This is what proves the per-row counter tables and the alert/RFM
+// FSM fields serialize completely — a missed field surfaces as a
+// post-restore divergence.
+func TestMitigationCheckpointBitIdentityMatrix(t *testing.T) {
+	t.Parallel()
+	cells := mitIdentityCells()
+	if testing.Short() {
+		cells = cells[:1]
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.workload+"/"+cell.variant, func(t *testing.T) {
+			t.Parallel()
+			cfg := skipCfg(cell.workload)
+			cfg.Scheme = memctrl.PRA
+			mitVariantByName(t, cell.variant)(&cfg)
+
+			mono, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rm, err := mono.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := warmAndCheckpoint(t, cfg)
+			restored, rr := restoreAndMeasure(t, cfg, data)
+			checkIdentical(t, mono, restored, rm, rr)
+		})
+	}
+}

@@ -65,6 +65,14 @@ type Config struct {
 	APD         bool  // active power-down for idle ranks with open rows
 	RefreshMode memctrl.RefreshMode
 
+	// RowHammer mitigation (DESIGN.md §4g; see memctrl.Config). A zero
+	// MitThreshold disables mitigation and is bit-identical to builds
+	// without the feature; the other two fields take effect only when the
+	// threshold is set (0 selects the memctrl defaults).
+	MitThreshold   int
+	MitAlertCycles int64
+	MitTableCap    int
+
 	// PowerCal selects the measurement-informed power-model calibration
 	// ("none", "vendor", "ghose", optionally with a device-variation
 	// sigma suffix like "ghose:10" — see power.ParseCalibration). It is
@@ -224,6 +232,9 @@ func New(cfg Config) (*System, error) {
 	mcfg.PDSlowExit = cfg.PDSlowExit
 	mcfg.APD = cfg.APD
 	mcfg.RefreshMode = cfg.RefreshMode
+	mcfg.MitThreshold = cfg.MitThreshold
+	mcfg.MitAlertCycles = cfg.MitAlertCycles
+	mcfg.MitTableCap = cfg.MitTableCap
 	if cfg.Timing != nil {
 		mcfg.Timing = *cfg.Timing
 	}

@@ -292,6 +292,8 @@ func DirtyProfile(name string) (low, high int, err error) {
 		return 1, 8, nil
 	case "libquantum":
 		return 6, 8, nil
+	case "HammerSingle", "HammerDouble", "RowStorm", "HammerDecoy":
+		return 0, 0, nil // read-only attack streams: no dirty evictions
 	}
 	return 0, 0, fmt.Errorf("workload: unknown benchmark %q", name)
 }

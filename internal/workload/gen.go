@@ -239,18 +239,26 @@ func Names() []string {
 	return names
 }
 
-// Canonical resolves a workload or mix name case-insensitively to its
-// canonical spelling ("gups" -> "GUPS", "mix2" -> "MIX2"), so CLI flags
-// don't require the paper's exact capitalization. Unknown names are
+// Canonical resolves a workload, hammer, or mix name case-insensitively to
+// its canonical spelling ("gups" -> "GUPS", "mix2" -> "MIX2"), so CLI
+// flags don't require the paper's exact capitalization. Unknown names are
 // returned unchanged for the caller's own error path.
 func Canonical(name string) string {
 	if _, ok := benchmarks[name]; ok {
+		return name
+	}
+	if _, ok := hammers[name]; ok {
 		return name
 	}
 	if _, ok := Mixes[name]; ok {
 		return name
 	}
 	for n := range benchmarks {
+		if strings.EqualFold(n, name) {
+			return n
+		}
+	}
+	for n := range hammers {
 		if strings.EqualFold(n, name) {
 			return n
 		}
@@ -263,11 +271,14 @@ func Canonical(name string) string {
 	return name
 }
 
-// New builds the named benchmark generator.
+// New builds the named benchmark or hammer generator.
 func New(name string, coreID int, seed uint64, region Region) (cpu.Generator, error) {
 	mk, ok := benchmarks[Canonical(name)]
 	if !ok {
-		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+		mk, ok = hammers[Canonical(name)]
+	}
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, append(Names(), HammerNames()...))
 	}
 	if region.Bytes < 1<<24 {
 		return nil, fmt.Errorf("workload: region too small (%d bytes); need at least 16MB", region.Bytes)
@@ -291,7 +302,7 @@ func MixNames() []string {
 }
 
 // Set resolves a workload-set name to one benchmark per core: a benchmark
-// name yields n identical instances (the paper's "four identical
+// or hammer name yields n identical instances (the paper's "four identical
 // instances of single-threaded applications"); a MIXn name yields Table 4's
 // combination.
 func Set(name string, cores int) ([]string, error) {
@@ -302,8 +313,10 @@ func Set(name string, cores int) ([]string, error) {
 		}
 		return apps, nil
 	}
-	if _, ok := benchmarks[name]; !ok {
-		return nil, fmt.Errorf("workload: unknown workload set %q", name)
+	if _, okB := benchmarks[name]; !okB {
+		if _, okH := hammers[name]; !okH {
+			return nil, fmt.Errorf("workload: unknown workload set %q (have %v)", name, SetNames())
+		}
 	}
 	apps := make([]string, cores)
 	for i := range apps {
@@ -312,9 +325,11 @@ func Set(name string, cores int) ([]string, error) {
 	return apps, nil
 }
 
-// SetNames returns all runnable workload-set names: 8 benchmarks (x4
-// instances) + 6 mixes = the paper's 14 workloads.
-func SetNames() []string { return append(Names(), MixNames()...) }
+// SetNames returns all runnable workload-set names, regenerated from the
+// registries: 8 benchmarks (x4 instances) + 4 hammer patterns + 6 mixes.
+func SetNames() []string {
+	return append(append(Names(), HammerNames()...), MixNames()...)
+}
 
 func mixSeed(name string, coreID int, seed uint64) uint64 {
 	h := seed ^ 0x51_7C_C1_B7_27_22_0A_95

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"pradram/internal/core"
@@ -248,8 +249,12 @@ func TestMixesAndSets(t *testing.T) {
 	if _, err := Set("nosuch", 4); err == nil {
 		t.Error("unknown set must error")
 	}
-	if got := len(SetNames()); got != 14 {
-		t.Errorf("SetNames() has %d entries, want 14 (8 benchmarks + 6 mixes)", got)
+	if got := len(SetNames()); got != 18 {
+		t.Errorf("SetNames() has %d entries, want 18 (8 benchmarks + 4 hammers + 6 mixes)", got)
+	}
+	// The Set error message enumerates the registry, not a stale list.
+	if _, err := Set("nosuch", 4); err == nil || !strings.Contains(err.Error(), "HammerSingle") {
+		t.Errorf("Set error must enumerate registry names, got %v", err)
 	}
 }
 

@@ -1,0 +1,285 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"pradram/internal/cpu"
+)
+
+// Adversarial RowHammer generators (DESIGN.md §4g). Unlike the benchmark
+// models, these are built for *analytic predictability*: every generator
+// confines all of its accesses to one (channel, rank, bank), never issues
+// two consecutive accesses to the same row, serializes every access behind
+// the previous one (dependent loads), and guarantees every cache line is
+// evicted before its reuse: all accesses of a round share one column, so
+// under the row-interleaved mapping they collide in two L2 sets (one per
+// row parity) with far more lines than the 8 ways — the round evicts
+// itself, and no line recurs until its column comes around again.
+// Under those invariants every access is a cache miss that reaches DRAM in
+// program order and activates its row exactly once — regardless of paging
+// policy, refresh discipline, or power-down state — so the per-row
+// activation counts after n accesses have the closed forms HammerCounts
+// computes, and the generator doubles as an end-to-end correctness oracle
+// for the dram package's activation counters.
+//
+// The address layout hardcodes the paper's default organization (2
+// channels, 2 ranks, 8 banks, 128 lines/row) and the row-interleaved
+// mapping (line = ch | col<<1 | bank<<8 | rank<<11 | row<<12): channel 0,
+// rank 0, bank coreID mod 8, with row indices relative to the core's
+// region (1GB region = 4096 rows of 256KB). The oracle tests verify the
+// confinement through the real AddressMapper rather than trusting this.
+
+const (
+	// hammerCols is the col-cursor period: lines per row in the default
+	// geometry. The column advances once per round and every access of a
+	// round uses the round's column, so a round's lines land in two L2
+	// sets (the column picks the set, the row only its parity bit) and
+	// evict each other — a line's next reuse is a full column lap away
+	// and always misses.
+	hammerCols = 128
+	// hammerDecoys is the decoy visits per aggressor visit for the
+	// single- and double-sided patterns.
+	hammerDecoys = 32
+	// decoyDilute is the decoy visits per aggressor visit for the
+	// decoy-interleaved pattern (a stealthier, lower-rate hammer).
+	decoyDilute = 8
+	// decoyAggs is the rotating aggressor count of the decoy-interleaved
+	// pattern.
+	decoyAggs = 4
+)
+
+// hammerLayout fixes where each pattern's rows live, derived only from the
+// region size so generators and the analytic oracle always agree. Rows are
+// region-relative indices (256KB per row index under the default
+// geometry); the sub-ranges never overlap: storm [rows/8, rows/4),
+// aggressors [rows/4, rows/4+7], decoy pool [rows/2, rows/2+pool).
+type hammerLayout struct {
+	rows      int // row indices the region spans
+	agg       int // primary aggressor row (HammerDouble hammers agg-1, agg+1)
+	stormBase int
+	stormN    int // rows in the RowStorm sweep
+	decoyBase int
+	decoyPool int // distinct decoy rows
+}
+
+func layoutFor(region Region) hammerLayout {
+	rows := int(region.Bytes >> 18)
+	return hammerLayout{
+		rows:      rows,
+		agg:       rows / 4,
+		stormBase: rows / 8,
+		stormN:    min(256, rows/8),
+		decoyBase: rows / 2,
+		decoyPool: min(64, rows/8),
+	}
+}
+
+// hammerAddr composes the byte address of (region-relative row, col) in
+// the core's target bank: channel 0, rank 0 under the row-interleaved
+// mapping.
+func hammerAddr(base uint64, bank, row, col int) uint64 {
+	return base + (uint64(row)<<12|uint64(bank)<<8|uint64(col)<<1)<<6
+}
+
+// hammerBank is the bank a core's hammer targets (spreads cores across
+// banks in multi-core runs; rows never collide anyway — regions are
+// row-disjoint).
+func hammerBank(coreID int) int { return coreID % 8 }
+
+// decoyVisit emits the i-th decoy access: the pool is walked round-robin,
+// at the column of the round's aggressor access so the round self-evicts
+// (see the package comment above).
+func decoyVisit(g *visitGen, base uint64, bank int, l hammerLayout, i uint64, col int) {
+	row := l.decoyBase + int(i%uint64(l.decoyPool))
+	g.loadDep(hammerAddr(base, bank, row, col))
+}
+
+// newHammerSingle is the classic single-sided hammer: one aggressor row
+// activated once per round, hidden among hammerDecoys decoy accesses that
+// keep the cache from absorbing the aggressor line.
+// regs[0]: aggressor visit counter; regs[1]: decoy visit counter.
+func newHammerSingle(coreID int, seed uint64, region Region) cpu.Generator {
+	l := layoutFor(region)
+	bank := hammerBank(coreID)
+	g := newVisitGen("HammerSingle", NewRNG(mixSeed("HammerSingle", coreID, seed)), 2)
+	g.visit = func(g *visitGen) {
+		a := g.regs[0]
+		col := int(a % hammerCols)
+		g.loadDep(hammerAddr(region.Base, bank, l.agg, col))
+		g.regs[0] = a + 1
+		for k := 0; k < hammerDecoys; k++ {
+			decoyVisit(g, region.Base, bank, l, g.regs[1], col)
+			g.regs[1]++
+		}
+	}
+	return g
+}
+
+// newHammerDouble is the double-sided hammer: the two rows sandwiching the
+// victim row l.agg are activated back to back each round, then the decoys.
+// regs[0]: round counter; regs[1]: decoy visit counter.
+func newHammerDouble(coreID int, seed uint64, region Region) cpu.Generator {
+	l := layoutFor(region)
+	bank := hammerBank(coreID)
+	g := newVisitGen("HammerDouble", NewRNG(mixSeed("HammerDouble", coreID, seed)), 2)
+	g.visit = func(g *visitGen) {
+		a := g.regs[0]
+		col := int(a % hammerCols)
+		g.loadDep(hammerAddr(region.Base, bank, l.agg-1, col))
+		g.loadDep(hammerAddr(region.Base, bank, l.agg+1, col))
+		g.regs[0] = a + 1
+		for k := 0; k < hammerDecoys; k++ {
+			decoyVisit(g, region.Base, bank, l, g.regs[1], col)
+			g.regs[1]++
+		}
+	}
+	return g
+}
+
+// newRowStorm is the row-conflict storm: a cyclic sweep over stormN rows
+// of one bank, every access a row conflict. No single row gets hot, but
+// the bank's activation rate — and a bounded counter table — is stressed
+// uniformly. regs[0]: visit counter.
+func newRowStorm(coreID int, seed uint64, region Region) cpu.Generator {
+	l := layoutFor(region)
+	bank := hammerBank(coreID)
+	g := newVisitGen("RowStorm", NewRNG(mixSeed("RowStorm", coreID, seed)), 1)
+	g.visit = func(g *visitGen) {
+		for k := 0; k < 32; k++ { // batch size is invisible to the op stream
+			i := g.regs[0]
+			row := l.stormBase + int(i%uint64(l.stormN))
+			col := int(i / uint64(l.stormN) % hammerCols)
+			g.loadDep(hammerAddr(region.Base, bank, row, col))
+			g.regs[0] = i + 1
+		}
+	}
+	return g
+}
+
+// newHammerDecoy is the decoy-interleaved pattern: decoyAggs aggressor
+// rows are hammered in rotation, each visit diluted by decoyDilute decoy
+// accesses — a slower, stealthier attack that probes threshold detectors.
+// regs[0]: aggressor visit counter; regs[1]: decoy visit counter.
+func newHammerDecoy(coreID int, seed uint64, region Region) cpu.Generator {
+	l := layoutFor(region)
+	bank := hammerBank(coreID)
+	g := newVisitGen("HammerDecoy", NewRNG(mixSeed("HammerDecoy", coreID, seed)), 2)
+	g.visit = func(g *visitGen) {
+		a := g.regs[0]
+		row := l.agg + 2*int(a%decoyAggs)
+		col := int(a / decoyAggs % hammerCols)
+		g.loadDep(hammerAddr(region.Base, bank, row, col))
+		g.regs[0] = a + 1
+		for k := 0; k < decoyDilute; k++ {
+			decoyVisit(g, region.Base, bank, l, g.regs[1], col)
+			g.regs[1]++
+		}
+	}
+	return g
+}
+
+// hammers is the adversarial-generator registry. It is deliberately
+// separate from the benchmarks map: Names() keeps meaning "the paper's 8
+// calibrated benchmarks" (the calibration suite iterates it), while
+// New/Canonical/Set resolve hammer names too.
+var hammers = map[string]Maker{
+	"HammerSingle": newHammerSingle,
+	"HammerDouble": newHammerDouble,
+	"RowStorm":     newRowStorm,
+	"HammerDecoy":  newHammerDecoy,
+}
+
+// HammerNames returns the adversarial generator names in sorted order.
+func HammerNames() []string {
+	names := make([]string, 0, len(hammers))
+	for n := range hammers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HammerTarget reports the (rank, bank) every access of a hammer
+// generator lands in, and the absolute row index its region-relative row 0
+// maps to, under the default geometry and row-interleaved mapping.
+func HammerTarget(coreID int, region Region) (rank, bank, rowBase int) {
+	return 0, hammerBank(coreID), int(region.Base >> 18)
+}
+
+// residues returns how often each residue class mod m occurs in [0, n):
+// n/m everywhere, plus one for the first n%m classes.
+func residues(n int64, m int) []int64 {
+	out := make([]int64, m)
+	for j := range out {
+		out[j] = n / int64(m)
+		if int64(j) < n%int64(m) {
+			out[j]++
+		}
+	}
+	return out
+}
+
+// HammerCounts returns the exact per-row activation counts after a hammer
+// generator's first n accesses, keyed by absolute row index (zero-count
+// rows omitted). This is the analytic oracle: a simulation that drives the
+// generator for exactly n DRAM accesses must show these counts in its
+// activation-counter table — any deviation is a counting bug.
+func HammerCounts(name string, coreID int, region Region, n int64) (map[int]int64, error) {
+	l := layoutFor(region)
+	_, _, rowBase := HammerTarget(coreID, region)
+	counts := map[int]int64{}
+	addRel := func(row int, c int64) {
+		if c > 0 {
+			counts[rowBase+row] += c
+		}
+	}
+	// addDecoys distributes nd decoy visits over the round-robin pool.
+	addDecoys := func(nd int64) {
+		for j, c := range residues(nd, l.decoyPool) {
+			addRel(l.decoyBase+j, c)
+		}
+	}
+	switch Canonical(name) {
+	case "HammerSingle":
+		const round = 1 + hammerDecoys
+		full, rem := n/round, n%round
+		agg := full
+		if rem >= 1 {
+			agg++
+		}
+		addRel(l.agg, agg)
+		addDecoys(full*hammerDecoys + max(rem-1, 0))
+	case "HammerDouble":
+		const round = 2 + hammerDecoys
+		full, rem := n/round, n%round
+		a1, a2 := full, full
+		if rem >= 1 {
+			a1++
+		}
+		if rem >= 2 {
+			a2++
+		}
+		addRel(l.agg-1, a1)
+		addRel(l.agg+1, a2)
+		addDecoys(full*hammerDecoys + max(rem-2, 0))
+	case "RowStorm":
+		for j, c := range residues(n, l.stormN) {
+			addRel(l.stormBase+j, c)
+		}
+	case "HammerDecoy":
+		const round = 1 + decoyDilute
+		full, rem := n/round, n%round
+		na := full
+		if rem >= 1 {
+			na++
+		}
+		for j, c := range residues(na, decoyAggs) {
+			addRel(l.agg+2*j, c)
+		}
+		addDecoys(full*decoyDilute + max(rem-1, 0))
+	default:
+		return nil, fmt.Errorf("workload: unknown hammer generator %q (have %v)", name, HammerNames())
+	}
+	return counts, nil
+}

@@ -176,8 +176,11 @@ func Workloads() []string { return workload.Names() }
 // Mixes lists the six multiprogrammed mixes of Table 4.
 func Mixes() []string { return workload.MixNames() }
 
-// WorkloadSets lists every runnable workload set (benchmarks + mixes, the
-// paper's 14 workloads).
+// Hammers lists the adversarial RowHammer workload generators.
+func Hammers() []string { return workload.HammerNames() }
+
+// WorkloadSets lists every runnable workload set (benchmarks + hammers +
+// mixes).
 func WorkloadSets() []string { return workload.SetNames() }
 
 // Experiments returns the paper's tables and figures in paper order.

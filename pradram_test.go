@@ -29,11 +29,14 @@ func TestPublicAPIListings(t *testing.T) {
 	if len(pradram.Mixes()) != 6 {
 		t.Errorf("mixes = %v, want 6", pradram.Mixes())
 	}
-	if len(pradram.WorkloadSets()) != 14 {
-		t.Errorf("sets = %v, want 14", pradram.WorkloadSets())
+	if len(pradram.WorkloadSets()) != 18 {
+		t.Errorf("sets = %v, want 18", pradram.WorkloadSets())
 	}
-	if len(pradram.Experiments()) != 19 {
-		t.Errorf("experiments = %d, want 19", len(pradram.Experiments()))
+	if len(pradram.Hammers()) != 4 {
+		t.Errorf("hammers = %v, want 4", pradram.Hammers())
+	}
+	if len(pradram.Experiments()) != 20 {
+		t.Errorf("experiments = %d, want 20", len(pradram.Experiments()))
 	}
 }
 

@@ -50,7 +50,12 @@
 // numbers fails CI until the table is regenerated (-update-power) and the
 // diff committed. Measurements go to BENCH_power.json.
 //
-// Usage: go run ./tools/benchgate [-speed|-warm|-power] [-out FILE] [-count 5]
+// -hammer switches to the RowHammer mitigation-overhead gate (hammer.go):
+// paired full-system runs with the Alert/RFM mitigation on and off, on an
+// attacking and a benign workload, gated on the on/off wall-clock ratios.
+// Measurements go to BENCH_hammer.json.
+//
+// Usage: go run ./tools/benchgate [-speed|-warm|-power|-hammer] [-out FILE] [-count 5]
 package main
 
 import (
@@ -169,18 +174,19 @@ func main() {
 	speed := flag.Bool("speed", false, "run the cycle-skipping speed gate instead of the telemetry-overhead gate")
 	warm := flag.Bool("warm", false, "run the warmup-checkpointing speed gate instead of the telemetry-overhead gate")
 	pwr := flag.Bool("power", false, "run the energy-band golden-table gate instead of the telemetry-overhead gate")
-	out := flag.String("out", "", "where to write the measurement report (default BENCH_obs.json; BENCH_speed.json with -speed; BENCH_warm.json with -warm; BENCH_power.json with -power)")
+	hammer := flag.Bool("hammer", false, "run the RowHammer mitigation-overhead gate instead of the telemetry-overhead gate")
+	out := flag.String("out", "", "where to write the measurement report (default BENCH_obs.json; BENCH_speed.json with -speed; BENCH_warm.json with -warm; BENCH_power.json with -power; BENCH_hammer.json with -hammer)")
 	count := flag.Int("count", 5, "benchmark repetitions (minimum is kept)")
 	updatePower, golden := powerFlags()
 	flag.Parse()
 	modes := 0
-	for _, m := range []bool{*speed, *warm, *pwr} {
+	for _, m := range []bool{*speed, *warm, *pwr, *hammer} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "benchgate: -speed, -warm, and -power are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "benchgate: -speed, -warm, -power, and -hammer are mutually exclusive")
 		os.Exit(1)
 	}
 	if *out == "" {
@@ -191,6 +197,8 @@ func main() {
 			*out = "BENCH_warm.json"
 		case *pwr:
 			*out = "BENCH_power.json"
+		case *hammer:
+			*out = "BENCH_hammer.json"
 		default:
 			*out = "BENCH_obs.json"
 		}
@@ -202,6 +210,8 @@ func main() {
 		runWarm(*out, *count)
 	case *pwr:
 		runPower(*out, *golden, *updatePower)
+	case *hammer:
+		runHammer(*out, *count)
 	default:
 		runObs(*out, *count)
 	}
