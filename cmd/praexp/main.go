@@ -89,6 +89,7 @@ func main() {
 
 	if *httpAddr != "" {
 		srv := obs.NewServer()
+		srv.Publish("build", func() any { return sim.BuildInfo() })
 		srv.Publish("progress", func() any { return prog.Snapshot() })
 		srv.Publish("checkpoints", func() any {
 			return map[string]int64{

@@ -30,7 +30,22 @@
 // inserted before the extension. -events records a ring-buffered trace of
 // state transitions (state) or every DRAM command (cmd), written to
 // -events-out and dumped to stderr when a run fails. -http serves the live
-// recorder, batch progress, and net/http/pprof while the runs execute.
+// recorder, batch progress, the build/version block (/vars/build), and
+// net/http/pprof while the runs execute.
+//
+// Latency attribution (DESIGN.md §4h):
+//
+//	prasim -workload GUPS -scheme pra -latbreak
+//	prasim -workload GUPS -latbreak -json
+//	prasim -workload GUPS -trace-out trace.json -events state
+//
+// -latbreak decomposes every request's arrival-to-data latency into
+// queue/bank/timing/refresh/pd/alert/xfer components (a shares table and
+// tail percentiles join the report; simulated results are identical).
+// -trace-out additionally samples every -trace-sample-th completed request
+// into a Chrome/Perfetto trace (open in ui.perfetto.dev), one track per
+// bank, with the breakdown as span arguments; when -events is at least
+// "state" the controller's refresh/power-down/alert instants ride along.
 package main
 
 import (
@@ -81,6 +96,10 @@ func main() {
 		mitTable     = flag.Int("mit-table", 0, "per-bank activation-counter table capacity (0 = default 512)")
 
 		powerCal = flag.String("power-cal", "", "report calibrated energy bands: none | vendor | ghose[:pct] (empty = nominal only)")
+
+		latBreak    = flag.Bool("latbreak", false, "attribute per-request latency to components (queue/bank/timing/refresh/pd/alert/xfer) and report the breakdown and tail percentiles (results are identical)")
+		traceOut    = flag.String("trace-out", "", "write sampled request spans as a Chrome/Perfetto trace JSON to this file (implies -latbreak)")
+		traceSample = flag.Int("trace-sample", 64, "with -trace-out, sample every Nth completed request into the span ring")
 
 		epoch     = flag.Int64("epoch", 100_000, "telemetry sampling epoch in DRAM cycles (used with -timeline / -http)")
 		timeline  = flag.String("timeline", "", "write the per-epoch time-series to this file (.json for JSON, else CSV)")
@@ -148,6 +167,10 @@ func main() {
 		cfg.MitTableCap = *mitTable
 		cfg.PowerCal = *powerCal
 		cfg.Obs = obsCfg
+		cfg.LatBreak = *latBreak || *traceOut != ""
+		if *traceOut != "" {
+			cfg.LatSpanEvery = *traceSample
+		}
 		cfgs[i] = cfg
 		if systems[i], err = pradram.NewSystem(cfg); err != nil {
 			fatal(err)
@@ -163,6 +186,7 @@ func main() {
 	}
 	if *httpAddr != "" {
 		srv := obs.NewServer()
+		srv.Publish("build", func() any { return pradram.BuildInfo() })
 		srv.Publish("progress", func() any { return prog.Snapshot() })
 		for i := range systems {
 			s, label := systems[i], names[i]
@@ -225,6 +249,11 @@ func main() {
 		}
 		if err := dumpTelemetry(systems[i], names[i], *timeline, *eventsOut, batch); err != nil {
 			fatal(err)
+		}
+		if *traceOut != "" {
+			if err := writeTrace(systems[i], names[i], *traceOut, batch); err != nil {
+				fatal(err)
+			}
 		}
 		if *asJSON {
 			if err := emitJSON(os.Stdout, res); err != nil {
@@ -301,6 +330,55 @@ func dumpTelemetry(s *pradram.System, label, timeline, eventsOut string, batch b
 	return nil
 }
 
+// writeTrace exports a finished run's sampled request spans (-trace-out)
+// as a Chrome/Perfetto trace: one track per DRAM bank carrying the
+// sampled read/write lifetimes with their component breakdowns as span
+// arguments, plus an instant track with the controller's episodic state
+// events (refresh, power-down, alert, ...) when -events captured them.
+// Spans are a sample (every -trace-sample-th completion, ring-buffered),
+// not a census.
+func writeTrace(s *pradram.System, label, path string, batch bool) error {
+	spans := s.LatSpans()
+	tspans := make([]obs.TraceSpan, len(spans))
+	for i, sp := range spans {
+		args := make(map[string]int64, int(pradram.NumLatComponents))
+		for c := pradram.LatComponent(0); c < pradram.NumLatComponents; c++ {
+			if sp.Break[c] != 0 {
+				args[c.String()] = sp.Break[c]
+			}
+		}
+		tspans[i] = obs.TraceSpan{
+			Name:  sp.Kind.String(),
+			Track: fmt.Sprintf("ch%d.r%d.b%d", sp.Loc.Channel, sp.Loc.Rank, sp.Loc.Bank),
+			Start: sp.Arrive,
+			End:   sp.Done,
+			Args:  args,
+		}
+	}
+	// The controller's state-level events share the spans' memory clock;
+	// the episodic ones explain gaps between spans, so they ride along.
+	var instants []obs.Event
+	if ev := s.Events(); ev != nil {
+		for _, e := range ev.Events() {
+			if !strings.HasPrefix(e.Scope, "memctrl.") {
+				continue
+			}
+			switch e.Kind {
+			case "refresh", "power-down", "self-refresh", "alert", "rfm", "wake":
+				instants = append(instants, e)
+			}
+		}
+	}
+	opt := obs.ChromeTraceOptions{
+		Process:      "prasim " + label,
+		CycleNs:      pradram.MemCycleNs,
+		InstantTrack: "dram",
+	}
+	return writeTo(batchPath(path, label, batch), func(w io.Writer) error {
+		return obs.WriteChromeTrace(w, opt, tspans, instants)
+	})
+}
+
 // writeTo creates path and streams fn's output into it.
 func writeTo(path string, fn func(io.Writer) error) error {
 	f, err := os.Create(path)
@@ -335,6 +413,7 @@ func report(w io.Writer, res pradram.Result) {
 	mem.Row("false hits (read)", fmt.Sprintf("%.2f%%", 100*res.FalseHitRateRead()))
 	mem.Row("false hits (write)", fmt.Sprintf("%.2f%%", 100*res.FalseHitRateWrite()))
 	mem.Row("avg read latency", fmt.Sprintf("%.1f ns", res.AvgReadLatencyNs()))
+	mem.Row("avg write latency", fmt.Sprintf("%.1f ns", res.AvgWriteLatencyNs()))
 	mem.Row("activations", res.Dev.Activations())
 	mem.Row("avg act granularity", fmt.Sprintf("%.2f/8", res.Dev.AvgGranularity()))
 	mem.Row("write words on bus", fmt.Sprintf("%d of %d", res.Dev.WordsWritten, res.Dev.WordBudget))
@@ -358,6 +437,22 @@ func report(w io.Writer, res pradram.Result) {
 		mem.Row("self-refresh residency", fmt.Sprintf("%.1f%%", 100*res.SelfRefreshResidency()))
 	}
 	fmt.Fprintln(w, mem.String())
+
+	// The latency-attribution tables only exist when -latbreak (or
+	// -trace-out) ran the accounting; the histogram count is the witness.
+	if res.Ctrl.ReadLatHist.N > 0 || res.Ctrl.WriteLatHist.N > 0 {
+		lat := stats.NewTable("latency component", "read", "write")
+		for c := pradram.LatComponent(0); c < pradram.NumLatComponents; c++ {
+			lat.Row(c.String(),
+				fmt.Sprintf("%.1f%%", 100*res.ReadLatShare(c)),
+				fmt.Sprintf("%.1f%%", 100*res.WriteLatShare(c)))
+		}
+		fmt.Fprintln(w, lat.String())
+		fmt.Fprintf(w, "read latency p50/p95/p99/p99.9: %.0f / %.0f / %.0f / %.0f ns   write p50/p99: %.0f / %.0f ns\n\n",
+			res.ReadLatQuantileNs(0.50), res.ReadLatQuantileNs(0.95),
+			res.ReadLatQuantileNs(0.99), res.ReadLatQuantileNs(0.999),
+			res.WriteLatQuantileNs(0.50), res.WriteLatQuantileNs(0.99))
+	}
 
 	gran := stats.NewTable("granularity", "share")
 	for g := 1; g <= 8; g++ {
@@ -397,6 +492,15 @@ type jsonReport struct {
 	FalseHitRead  float64 `json:"false_hit_read"`
 	FalseHitWrite float64 `json:"false_hit_write"`
 	AvgReadNs     float64 `json:"avg_read_latency_ns"`
+	AvgWriteNs    float64 `json:"avg_write_latency_ns"`
+
+	// Latency attribution (-latbreak); omitted when the run did not carry
+	// the accounting. Shares are fractions of the total latency of the
+	// request kind; percentiles are log-bucket upper bounds in ns.
+	ReadLatShares  map[string]float64 `json:"read_lat_shares,omitempty"`
+	WriteLatShares map[string]float64 `json:"write_lat_shares,omitempty"`
+	ReadLatPctNs   map[string]float64 `json:"read_lat_percentiles_ns,omitempty"`
+	WriteLatPctNs  map[string]float64 `json:"write_lat_percentiles_ns,omitempty"`
 
 	Activations    int64     `json:"activations"`
 	AvgGranularity float64   `json:"avg_act_granularity"`
@@ -440,6 +544,7 @@ func emitJSON(w io.Writer, res pradram.Result) error {
 		FalseHitRead:  res.FalseHitRateRead(),
 		FalseHitWrite: res.FalseHitRateWrite(),
 		AvgReadNs:     res.AvgReadLatencyNs(),
+		AvgWriteNs:    res.AvgWriteLatencyNs(),
 
 		Activations:    res.Dev.Activations(),
 		AvgGranularity: res.Dev.AvgGranularity(),
@@ -464,6 +569,26 @@ func emitJSON(w io.Writer, res pradram.Result) error {
 		band := res.PowerBandMW()
 		rep.PowerCal = res.Cal.Name
 		rep.PowerBandMW = &[3]float64{band.Min, band.Nom, band.Max}
+	}
+	if res.Ctrl.ReadLatHist.N > 0 || res.Ctrl.WriteLatHist.N > 0 {
+		rep.ReadLatShares = make(map[string]float64, int(pradram.NumLatComponents))
+		rep.WriteLatShares = make(map[string]float64, int(pradram.NumLatComponents))
+		for c := pradram.LatComponent(0); c < pradram.NumLatComponents; c++ {
+			rep.ReadLatShares[c.String()] = res.ReadLatShare(c)
+			rep.WriteLatShares[c.String()] = res.WriteLatShare(c)
+		}
+		rep.ReadLatPctNs = map[string]float64{
+			"p50":  res.ReadLatQuantileNs(0.50),
+			"p95":  res.ReadLatQuantileNs(0.95),
+			"p99":  res.ReadLatQuantileNs(0.99),
+			"p999": res.ReadLatQuantileNs(0.999),
+		}
+		rep.WriteLatPctNs = map[string]float64{
+			"p50":  res.WriteLatQuantileNs(0.50),
+			"p95":  res.WriteLatQuantileNs(0.95),
+			"p99":  res.WriteLatQuantileNs(0.99),
+			"p999": res.WriteLatQuantileNs(0.999),
+		}
 	}
 	for g := 1; g <= 8; g++ {
 		rep.GranShares = append(rep.GranShares, res.GranularityShare(g))

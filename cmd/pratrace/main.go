@@ -63,8 +63,10 @@ func main() {
 	}
 
 	if *httpAddr != "" {
+		srv := obs.NewServer()
+		srv.Publish("build", func() any { return pradram.BuildInfo() })
 		go func() {
-			if err := obs.NewServer().ListenAndServe(*httpAddr); err != nil {
+			if err := srv.ListenAndServe(*httpAddr); err != nil {
 				fmt.Fprintln(os.Stderr, "pratrace: http:", err)
 			}
 		}()

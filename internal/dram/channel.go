@@ -390,12 +390,8 @@ func (c *Channel) fawReadyAt(rk *rankState, w float64) int64 {
 // mask may be issued to bank (r,b). For a rank still in power-down, the
 // result assumes a Wake issued at the query time.
 func (c *Channel) ActReadyAt(now int64, r, b int, mask core.Mask, halfDRAM bool) int64 {
-	rk, bk := c.rank(r), c.bank(r, b)
-	w := core.ActivationWeight(mask, halfDRAM)
-	if c.NoWeightedFAW {
-		w = 1
-	}
-	return max(now, bk.actAllowed, rk.rrdAllowed, c.fawReadyAt(rk, w), rk.refUntil, c.cmdFree, c.pdExitAt(rk, now))
+	var t LatTerms
+	return c.ActLatTerms(now, r, b, mask, halfDRAM, &t)
 }
 
 // Activate opens (part of) a row. mask selects the MAT groups; FullMask is
@@ -471,11 +467,8 @@ func (c *Channel) busStart(wantStart int64, d BusDir, r int) int64 {
 // ReadReadyAt returns the earliest command cycle >= now for a column read
 // of burstCycles from bank (r,b).
 func (c *Channel) ReadReadyAt(now int64, r, b, burstCycles int) int64 {
-	rk, bk := c.rank(r), c.bank(r, b)
-	at := max(now, bk.rdAllowed, rk.colAllowed, rk.rdAfterWr, rk.refUntil, c.cmdFree, c.pdExitAt(rk, now))
-	// The data phase must fit the bus: command time is data start - CL.
-	start := c.busStart(at+int64(c.T.TCAS), BusRead, r)
-	return start - int64(c.T.TCAS)
+	var t LatTerms
+	return c.ReadLatTerms(now, r, b, burstCycles, &t)
 }
 
 // Read issues a column read; returns the cycle the last data beat arrives.
@@ -518,10 +511,8 @@ func (c *Channel) Read(at int64, r, b, burstCycles int, frac float64, autoPre bo
 
 // WriteReadyAt returns the earliest command cycle >= now for a column write.
 func (c *Channel) WriteReadyAt(now int64, r, b, burstCycles int) int64 {
-	rk, bk := c.rank(r), c.bank(r, b)
-	at := max(now, bk.wrAllowed, rk.colAllowed, rk.refUntil, c.cmdFree, c.pdExitAt(rk, now))
-	start := c.busStart(at+int64(c.T.CWL), BusWrite, r)
-	return start - int64(c.T.CWL)
+	var t LatTerms
+	return c.WriteLatTerms(now, r, b, burstCycles, &t)
 }
 
 // Write issues a column write. frac is the fraction of the line's words

@@ -1,0 +1,124 @@
+package dram
+
+import (
+	"testing"
+
+	"pradram/internal/core"
+)
+
+// TestLatTermsMatchReadyAt pins the lockstep contract: the ready cycle each
+// *ReadyAt method reports must equal the max over the term deadlines its
+// *LatTerms twin fills (the methods are defined that way; this test keeps a
+// future hand-rolled fast path honest), and no individual term may exceed
+// the ready cycle.
+func TestLatTermsMatchReadyAt(t *testing.T) {
+	t.Parallel()
+	ch := newTestChannel(t)
+	mustActivate(t, ch, 0, 0, 0, 7, core.FullMask, false)
+	if _, err := ch.Read(ch.ReadReadyAt(0, 0, 0, ch.T.TBURST), 0, 0, ch.T.TBURST, 1, false); err != nil {
+		t.Fatal(err)
+	}
+
+	for now := int64(0); now < 64; now += 7 {
+		var at LatTerms
+		ready := ch.ActLatTerms(now, 0, 1, core.FullMask, false, &at)
+		if got := ch.ActReadyAt(now, 0, 1, core.FullMask, false); got != ready {
+			t.Fatalf("ActReadyAt(%d) = %d, terms say %d", now, got, ready)
+		}
+		if m := maxTerms(now, &at); m != ready {
+			t.Fatalf("ACT terms %v max %d != ready %d", at, m, ready)
+		}
+		var rd LatTerms
+		ready = ch.ReadLatTerms(now, 0, 0, ch.T.TBURST, &rd)
+		if got := ch.ReadReadyAt(now, 0, 0, ch.T.TBURST); got != ready {
+			t.Fatalf("ReadReadyAt(%d) = %d, terms say %d", now, got, ready)
+		}
+		for i, d := range rd {
+			if d > ready {
+				t.Fatalf("read term %d deadline %d exceeds ready %d", i, d, ready)
+			}
+		}
+		var wr LatTerms
+		ready = ch.WriteLatTerms(now, 0, 0, ch.T.TBURST, &wr)
+		if got := ch.WriteReadyAt(now, 0, 0, ch.T.TBURST); got != ready {
+			t.Fatalf("WriteReadyAt(%d) = %d, terms say %d", now, got, ready)
+		}
+	}
+}
+
+// TestLatTermsBlameTheBindingConstraint drives one constraint family at a
+// time and asserts the decomposition points at it.
+func TestLatTermsBlameTheBindingConstraint(t *testing.T) {
+	t.Parallel()
+
+	t.Run("bank-tRC", func(t *testing.T) {
+		ch := newTestChannel(t)
+		at := mustActivate(t, ch, 0, 0, 0, 1, core.FullMask, false)
+		pre := ch.PreReadyAt(at, 0, 0)
+		if err := ch.Precharge(pre, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		var terms LatTerms
+		ready := ch.ActLatTerms(pre+1, 0, 0, core.FullMask, false, &terms)
+		if terms[TermBank] != ready || ready <= pre+1 {
+			t.Fatalf("PRE->ACT wait not blamed on the bank term: ready %d terms %v", ready, terms)
+		}
+	})
+
+	t.Run("refresh", func(t *testing.T) {
+		ch := newTestChannel(t)
+		due := ch.ranks[0].nextRefresh
+		if err := ch.Refresh(due, 0); err != nil {
+			t.Fatal(err)
+		}
+		var terms LatTerms
+		ready := ch.ActLatTerms(due+1, 0, 0, core.FullMask, false, &terms)
+		if terms[TermRefresh] != ready || ready != ch.ranks[0].refUntil {
+			t.Fatalf("refresh-blocked ACT not blamed on the refresh term: ready %d terms %v", ready, terms)
+		}
+	})
+
+	t.Run("power-down-exit", func(t *testing.T) {
+		ch := newTestChannel(t)
+		if !ch.EnterPowerDown(int64(ch.T.TCKE), 0) {
+			t.Fatal("power-down entry refused")
+		}
+		now := int64(ch.T.TCKE) * 3
+		var terms LatTerms
+		ready := ch.ActLatTerms(now, 0, 0, core.FullMask, false, &terms)
+		if terms[TermPD] != ready || ready < now+int64(ch.T.TXP) {
+			t.Fatalf("power-down exit not blamed on the PD term: ready %d terms %v", ready, terms)
+		}
+	})
+
+	t.Run("timing-tRRD", func(t *testing.T) {
+		ch := newTestChannel(t)
+		at := mustActivate(t, ch, 0, 0, 0, 1, core.FullMask, false)
+		var terms LatTerms
+		ready := ch.ActLatTerms(at+1, 0, 1, core.FullMask, false, &terms)
+		if terms[TermTiming] != ready || ready != at+int64(ch.T.TRRD) {
+			t.Fatalf("tRRD wait not blamed on the timing term: ready %d terms %v", ready, terms)
+		}
+	})
+
+	t.Run("timing-data-bus", func(t *testing.T) {
+		ch := newTestChannel(t)
+		mustActivate(t, ch, 0, 0, 0, 1, core.FullMask, false)
+		mustActivate(t, ch, 0, 1, 0, 1, core.FullMask, false)
+		rd := ch.ReadReadyAt(0, 0, 0, ch.T.TBURST)
+		if _, err := ch.Read(rd, 0, 0, ch.T.TBURST, 1, false); err != nil {
+			t.Fatal(err)
+		}
+		// A write from another rank must wait out the read burst + tRTRS on
+		// the shared data bus; that wait belongs to the timing term.
+		var terms LatTerms
+		now := rd + int64(ch.T.TCCD)
+		ready := ch.WriteLatTerms(now, 1, 0, ch.T.TBURST, &terms)
+		if ready <= now {
+			t.Skip("bus not contended at this geometry/timing")
+		}
+		if terms[TermTiming] != ready {
+			t.Fatalf("bus contention not blamed on the timing term: now %d ready %d terms %v", now, ready, terms)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"pradram/internal/dram"
 	"pradram/internal/obs"
 	"pradram/internal/power"
+	"pradram/internal/stats"
 )
 
 // Config assembles a full memory system: scheme, policy, mapping, and the
@@ -80,6 +81,17 @@ type Config struct {
 	// that may overcount but never undercounts a row (dram/rowcounter.go).
 	MitTableCap int
 
+	// Latency attribution (DESIGN.md §4h). LatBreak enables the
+	// per-request latency breakdown, the percentile histograms, and span
+	// sampling. Attribution is purely observational: with LatBreak off the
+	// per-request cost is one int64 assignment and simulated results are
+	// bit-identical to a controller without the feature.
+	LatBreak bool
+	// LatSpanEvery samples every Nth completed request into the span ring
+	// for trace export (0 disables sampling; only meaningful with
+	// LatBreak).
+	LatSpanEvery int
+
 	// Ablation knobs (all default off = full PRA as published). They
 	// isolate the contribution of each PRA design element:
 	//   NoTimingRelax  — partial ACTs charge full tRRD/tFAW weight.
@@ -132,6 +144,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("memctrl: %v power-down policy requires PDTimeout > 0", c.PDPolicy)
 	case c.MitThreshold < 0 || c.MitAlertCycles < 0 || c.MitTableCap < 0:
 		return fmt.Errorf("memctrl: mitigation parameters must be non-negative")
+	case c.LatSpanEvery < 0:
+		return fmt.Errorf("memctrl: LatSpanEvery must be non-negative")
 	}
 	if err := c.Timing.Validate(); err != nil {
 		return err
@@ -148,7 +162,18 @@ type Stats struct {
 	Forwarded                   int64
 	ReadRejects, WriteRejects   int64
 	ReadLatencySum              int64 // memory cycles, arrival to data
+	WriteLatencySum             int64 // memory cycles, arrival to end of data phase
 	ActsForReads, ActsForWrites int64
+	// ReadLatBreak/WriteLatBreak decompose the latency sums per component
+	// and ReadLatHist/WriteLatHist are the log2 latency histograms behind
+	// the reported percentiles. All four are populated only under
+	// Config.LatBreak; the conservation invariant ReadLatBreak.Sum() ==
+	// ReadLatencySum (and the write-side twin) holds whenever LatBreak was
+	// on for the whole measured interval (latency.go).
+	ReadLatBreak  LatBreakdown
+	WriteLatBreak LatBreakdown
+	ReadLatHist   stats.LogHist
+	WriteLatHist  stats.LogHist
 	// Alerts counts mitigation alerts (threshold crossings) and
 	// AlertStallCycles the memory cycles the command stream spent in
 	// alert back-off (MitAlertCycles per alert, by construction).
@@ -168,10 +193,15 @@ func (s *Stats) Add(o Stats) {
 	s.ReadRejects += o.ReadRejects
 	s.WriteRejects += o.WriteRejects
 	s.ReadLatencySum += o.ReadLatencySum
+	s.WriteLatencySum += o.WriteLatencySum
 	s.ActsForReads += o.ActsForReads
 	s.ActsForWrites += o.ActsForWrites
 	s.Alerts += o.Alerts
 	s.AlertStallCycles += o.AlertStallCycles
+	s.ReadLatBreak.Accum(&o.ReadLatBreak)
+	s.WriteLatBreak.Accum(&o.WriteLatBreak)
+	s.ReadLatHist.Merge(&o.ReadLatHist)
+	s.WriteLatHist.Merge(&o.WriteLatHist)
 }
 
 type request struct {
@@ -184,7 +214,15 @@ type request struct {
 	done      core.Done     // reads: completion, invoked with the CPU cycle
 	activated bool          // an ACT was issued on this request's behalf
 	falseHit  bool
-	nextFree  *request // freelist link while recycled
+	// mark is the attribution frontier (latency.go): all waiting before it
+	// has been blamed, so each command sweep covers [mark, issue). It
+	// advances whether or not LatBreak is on — the assignment is free, and
+	// keeping it live means checkpoints can always carry it, making
+	// LatBreak safely excludable from the warmup fingerprint. brk is the
+	// blame accumulated so far (LatBreak only).
+	mark     int64
+	brk      LatBreakdown
+	nextFree *request // freelist link while recycled
 }
 
 // need returns the PRA word mask this request requires open.
@@ -243,6 +281,16 @@ type chanCtl struct {
 	// (leaves its queue or the forwards list and its callback returned),
 	// so the pool's high-water mark is the queue depth.
 	freeReq *request
+
+	// Latency attribution (latency.go, LatBreak only): per-bank read
+	// latency histograms indexed rank*Banks+bank, and the sampled-span
+	// ring. Measurement-scoped like Stats — cleared by ResetStats, never
+	// checkpointed (checkpoints are taken right after ResetStats, when all
+	// of this is empty in monolithic and restored runs alike).
+	latHistBank []stats.LogHist
+	spans       []LatSpan
+	spanHead    int
+	spanSeq     int64
 
 	stats Stats
 }
@@ -400,6 +448,9 @@ func New(cfg Config) (*Controller, error) {
 		cc.rowCount = nil
 		cc.rankCount = make([]int, cfg.Geom.Ranks)
 		cc.lastWork = make([]int64, cfg.Geom.Ranks)
+		if cfg.LatBreak {
+			cc.latHistBank = make([]stats.LogHist, cfg.Geom.Ranks*cfg.Geom.Banks)
+		}
 		c.chans = append(c.chans, cc)
 	}
 	return c, nil
@@ -426,6 +477,7 @@ func (c *Controller) Read(addr uint64, done core.Done) bool {
 	req.rowKey = c.am.RowKeyOf(l)
 	req.wordMask = core.FullMask
 	req.arrive = c.lastMem + 1
+	req.mark = req.arrive
 	req.done = done // invoked with the CPU cycle: call sites scale by CPUPerMem
 	cc.nextWake = 0
 	c.active = true
@@ -475,6 +527,7 @@ func (c *Controller) Write(addr uint64, mask core.ByteMask) bool {
 	req.byteMask = mask
 	req.wordMask = project(mask)
 	req.arrive = c.lastMem + 1
+	req.mark = req.arrive
 	cc.writeQ = append(cc.writeQ, req)
 	cc.noteAdd(req)
 	cc.nextWake = 0
@@ -489,6 +542,7 @@ func (c *Controller) ResetStats() {
 		cc.stats = Stats{}
 		cc.ch.ResetStats()
 		cc.acc.Reset()
+		cc.resetLat()
 	}
 }
 
@@ -665,6 +719,7 @@ func (cc *chanCtl) tick(mem int64) {
 			cc.stats.ReadsServed++
 			cc.stats.RowHitRead++ // served without any DRAM activity
 			cc.stats.ReadLatencySum += mem - f.arrive
+			cc.completeLat(f, mem, mem) // no DRAM command: all queue time
 			f.done.Fn(mem * cc.cfg.CPUPerMem)
 			cc.forwards[i] = nil
 			cc.releaseReq(f)
@@ -982,8 +1037,9 @@ func (cc *chanCtl) issueColumn(mem int64, q *[]*request, i int, req *request, ma
 		return false
 	}
 	autoPre := cc.autoPrecharge(req, mask)
+	var terms dram.LatTerms
 	if req.kind == core.Read {
-		if at := cc.ch.ReadReadyAt(mem, l.Rank, l.Bank, burst); at > mem {
+		if at := cc.ch.ReadLatTerms(mem, l.Rank, l.Bank, burst, &terms); at > mem {
 			cc.noteReady(at)
 			return false
 		}
@@ -993,16 +1049,22 @@ func (cc *chanCtl) issueColumn(mem int64, q *[]*request, i int, req *request, ma
 		}
 		cc.finishColumn(q, i, req, autoPre)
 		cc.stats.ReadLatencySum += done - req.arrive
+		cc.sweepWait(req, mem, &terms)
+		cc.completeLat(req, mem, done)
 		req.done.Fn(done * cc.cfg.CPUPerMem)
 	} else {
-		if at := cc.ch.WriteReadyAt(mem, l.Rank, l.Bank, burst); at > mem {
+		if at := cc.ch.WriteLatTerms(mem, l.Rank, l.Bank, burst, &terms); at > mem {
 			cc.noteReady(at)
 			return false
 		}
-		if _, err := cc.ch.Write(mem, l.Rank, l.Bank, burst, cc.writeFrac(req), autoPre); err != nil {
+		end, err := cc.ch.Write(mem, l.Rank, l.Bank, burst, cc.writeFrac(req), autoPre)
+		if err != nil {
 			return false
 		}
 		cc.finishColumn(q, i, req, autoPre)
+		cc.stats.WriteLatencySum += end - req.arrive
+		cc.sweepWait(req, mem, &terms)
+		cc.completeLat(req, mem, end)
 	}
 	cc.releaseReq(req)
 	return true
@@ -1125,7 +1187,8 @@ func (cc *chanCtl) tryPrep(mem int64, q *[]*request) bool {
 		visited |= bankBit
 		if !open {
 			m := cc.actMask(req)
-			if at := cc.ch.ActReadyAt(mem, l.Rank, l.Bank, m, half); at > mem {
+			var terms dram.LatTerms
+			if at := cc.ch.ActLatTerms(mem, l.Rank, l.Bank, m, half, &terms); at > mem {
 				cc.noteReady(at)
 				continue
 			}
@@ -1134,6 +1197,7 @@ func (cc *chanCtl) tryPrep(mem int64, q *[]*request) bool {
 			}
 			cc.hitCount[l.Rank][l.Bank] = 0
 			req.activated = true
+			cc.sweepWait(req, mem, &terms)
 			if req.kind == core.Read {
 				cc.stats.ActsForReads++
 			} else {

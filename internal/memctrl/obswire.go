@@ -6,6 +6,7 @@ import (
 	"pradram/internal/dram"
 	"pradram/internal/obs"
 	"pradram/internal/power"
+	"pradram/internal/stats"
 )
 
 // This file wires the controller into the observability layer: AttachObs
@@ -53,6 +54,38 @@ func (c *Controller) AttachObs(rec *obs.Recorder, ev *obs.EventLog) {
 	// RowHammer mitigation (mitigation.go): alert and back-off overhead.
 	rec.Counter("alerts", sum(func(s *Stats) int64 { return s.Alerts }))
 	rec.Counter("alert_stall_cycles", sum(func(s *Stats) int64 { return s.AlertStallCycles }))
+
+	// Latency accounting (latency.go): the always-on sums, and — only when
+	// attribution is enabled — the per-component breakdown counters and the
+	// percentile gauges over the channel-merged histograms.
+	rec.Counter("read_lat_sum", sum(func(s *Stats) int64 { return s.ReadLatencySum }))
+	rec.Counter("write_lat_sum", sum(func(s *Stats) int64 { return s.WriteLatencySum }))
+	if c.cfg.LatBreak {
+		for comp := LatComponent(0); comp < NumLatComponents; comp++ {
+			comp := comp
+			rec.Counter("readlat_"+comp.String(), sum(func(s *Stats) int64 { return s.ReadLatBreak[comp] }))
+			rec.Counter("writelat_"+comp.String(), sum(func(s *Stats) int64 { return s.WriteLatBreak[comp] }))
+		}
+		quant := func(write bool, q float64) func() float64 {
+			return func() float64 {
+				var h stats.LogHist
+				for _, cc := range c.chans {
+					if write {
+						h.Merge(&cc.stats.WriteLatHist)
+					} else {
+						h.Merge(&cc.stats.ReadLatHist)
+					}
+				}
+				return h.Quantile(q)
+			}
+		}
+		rec.Gauge("readlat_p50", quant(false, 0.50))
+		rec.Gauge("readlat_p95", quant(false, 0.95))
+		rec.Gauge("readlat_p99", quant(false, 0.99))
+		rec.Gauge("readlat_p999", quant(false, 0.999))
+		rec.Gauge("writelat_p50", quant(true, 0.50))
+		rec.Gauge("writelat_p99", quant(true, 0.99))
+	}
 
 	// Partial-activation fraction-opened histogram (Figure 11 over time):
 	// act_gran_g counts activations that opened g/8 of a row this epoch.
@@ -150,6 +183,10 @@ func (cc *chanCtl) attachObs(rec *obs.Recorder, ev *obs.EventLog, idx int) {
 			rec.Counter(name+"_pre", func() int64 { return cc.ch.BankCounts(r, b).Pre })
 			rec.Counter(name+"_rd", func() int64 { return cc.ch.BankCounts(r, b).Rd })
 			rec.Counter(name+"_wr", func() int64 { return cc.ch.BankCounts(r, b).Wr })
+			if cc.cfg.LatBreak {
+				hb := r*geom.Banks + b
+				rec.Gauge(name+"_rdlat_p99", func() float64 { return cc.latHistBank[hb].Quantile(0.99) })
+			}
 		}
 	}
 }

@@ -35,6 +35,13 @@ func saveReq(w *checkpoint.Writer, req *request) {
 	}
 	w.Bool(req.activated)
 	w.Bool(req.falseHit)
+	// Attribution state (latency.go), ckptFormat v4: the sweep frontier
+	// and the blame accumulated so far, so a restored run's completed
+	// requests report the same breakdowns as the monolithic run's.
+	w.I64(req.mark)
+	for _, v := range req.brk {
+		w.I64(v)
+	}
 }
 
 // SaveState appends the controller's dynamic state.
@@ -112,6 +119,13 @@ func (cc *chanCtl) restoreReq(r *checkpoint.Reader, fillResolve func(lineID uint
 	}
 	req.activated = r.Bool()
 	req.falseHit = r.Bool()
+	req.mark = r.I64()
+	for i := range req.brk {
+		req.brk[i] = r.I64()
+	}
+	if req.mark < req.arrive {
+		r.Fail("memctrl: attribution mark %d before arrival %d", req.mark, req.arrive)
+	}
 	g := cc.cfg.Geom
 	if req.loc.Channel != cc.idx || req.loc.Rank < 0 || req.loc.Rank >= g.Ranks ||
 		req.loc.Bank < 0 || req.loc.Bank >= g.Banks || req.loc.Row < 0 || req.loc.Row >= g.Rows {

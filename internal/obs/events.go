@@ -19,6 +19,7 @@ const (
 	LevelCmd
 )
 
+// String returns the level's flag name ("off", "state", "cmd").
 func (l Level) String() string {
 	switch l {
 	case LevelOff:

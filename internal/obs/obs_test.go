@@ -311,3 +311,41 @@ func TestServerVars(t *testing.T) {
 		t.Fatalf("pprof: code %d", code)
 	}
 }
+
+// TestServerContentTypes pins the response headers tooling depends on:
+// JSON endpoints must say application/json (curl-into-jq pipelines and
+// browsers both branch on it), the index stays plain text, and an error
+// response does not masquerade as JSON.
+func TestServerContentTypes(t *testing.T) {
+	srv := NewServer()
+	srv.Publish("x", func() any { return 1 })
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctype := func(path string) string {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("Content-Type")
+	}
+
+	const wantJSON = "application/json; charset=utf-8"
+	if got := ctype("/vars"); got != wantJSON {
+		t.Errorf("/vars Content-Type = %q, want %q", got, wantJSON)
+	}
+	if got := ctype("/vars/x"); got != wantJSON {
+		t.Errorf("/vars/x Content-Type = %q, want %q", got, wantJSON)
+	}
+	if got := ctype("/"); !strings.HasPrefix(got, "text/plain") {
+		t.Errorf("index Content-Type = %q, want text/plain", got)
+	}
+	if got := ctype("/vars/nope"); strings.Contains(got, "json") {
+		t.Errorf("404 Content-Type = %q, must not claim JSON", got)
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export (DESIGN.md §4h). WriteChromeTrace renders
+// sampled request spans and instant events as the Trace Event Format JSON
+// that chrome://tracing and Perfetto's legacy importer load directly: one
+// "X" (complete) event per span on a named track, one "i" (instant) event
+// per log entry, and "M" (metadata) events naming the process and tracks.
+// The format wants timestamps in microseconds; the options carry the
+// cycle length so callers keep their native clocks.
+
+// TraceSpan is one exported span: a named interval on a named track, with
+// optional argument key/values shown in the trace viewer's detail pane.
+// Times are in cycles of the clock ChromeTraceOptions.CycleNs describes.
+type TraceSpan struct {
+	Name  string
+	Track string
+	Start int64
+	End   int64
+	Args  map[string]int64
+}
+
+// ChromeTraceOptions configures the export.
+type ChromeTraceOptions struct {
+	// Process names the single process all tracks live under (shown as
+	// the top-level group in the viewer). Empty means "pradram".
+	Process string
+	// CycleNs is the length in nanoseconds of one cycle of the clock the
+	// spans and events are stamped in. Zero or negative means 1 ns per
+	// cycle (timestamps then read as raw cycle counts).
+	CycleNs float64
+	// InstantTrack names the track instant events land on. Empty means
+	// "events".
+	InstantTrack string
+}
+
+// chromeEvent is one Trace Event Format entry. Only the fields the "X",
+// "i", and "M" phases use are modeled.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes spans and instant events as one Trace Event
+// Format JSON document. Tracks are assigned thread IDs in sorted name
+// order, so the export is deterministic for deterministic inputs. Instant
+// events use the event's Kind as the name and carry Scope and Detail as
+// arguments.
+func WriteChromeTrace(w io.Writer, opt ChromeTraceOptions, spans []TraceSpan, instants []Event) error {
+	if opt.Process == "" {
+		opt.Process = "pradram"
+	}
+	if opt.CycleNs <= 0 {
+		opt.CycleNs = 1
+	}
+	if opt.InstantTrack == "" {
+		opt.InstantTrack = "events"
+	}
+	us := func(cycle int64) float64 { return float64(cycle) * opt.CycleNs / 1e3 }
+
+	tracks := map[string]bool{}
+	for _, s := range spans {
+		tracks[s.Track] = true
+	}
+	if len(instants) > 0 {
+		tracks[opt.InstantTrack] = true
+	}
+	names := make([]string, 0, len(tracks))
+	for n := range tracks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	tid := make(map[string]int, len(names))
+	for i, n := range names {
+		tid[n] = i
+	}
+
+	evs := make([]chromeEvent, 0, len(spans)+len(instants)+len(names)+1)
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M",
+		Args: map[string]any{"name": opt.Process},
+	})
+	for _, n := range names {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Tid: tid[n],
+			Args: map[string]any{"name": n},
+		})
+	}
+	for _, s := range spans {
+		if s.End < s.Start {
+			return fmt.Errorf("obs: span %q on %q ends at %d before it starts at %d", s.Name, s.Track, s.End, s.Start)
+		}
+		e := chromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts: us(s.Start), Dur: us(s.End - s.Start),
+			Tid: tid[s.Track],
+		}
+		if len(s.Args) > 0 {
+			e.Args = make(map[string]any, len(s.Args))
+			for k, v := range s.Args {
+				e.Args[k] = v
+			}
+		}
+		evs = append(evs, e)
+	}
+	for _, in := range instants {
+		evs = append(evs, chromeEvent{
+			Name: in.Kind, Ph: "i", S: "g",
+			Ts: us(in.Cycle), Tid: tid[opt.InstantTrack],
+			Args: map[string]any{"scope": in.Scope, "detail": in.Detail},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ns"})
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeTrace parses an exported document back into the generic shape the
+// assertions walk.
+func decodeTrace(t *testing.T, doc string) map[string]any {
+	t.Helper()
+	var out map[string]any
+	if err := json.Unmarshal([]byte(doc), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, doc)
+	}
+	return out
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	spans := []TraceSpan{
+		{Name: "read", Track: "ch0.b1", Start: 100, End: 140, Args: map[string]int64{"queue": 30, "xfer": 10}},
+		{Name: "write", Track: "ch1.b0", Start: 200, End: 220},
+	}
+	instants := []Event{
+		{Cycle: 150, Level: LevelState, Scope: "memctrl.ch0", Kind: "REF", Detail: "rank 0"},
+	}
+	var b strings.Builder
+	opt := ChromeTraceOptions{Process: "prasim", CycleNs: 1.25, InstantTrack: "dram"}
+	if err := WriteChromeTrace(&b, opt, spans, instants); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeTrace(t, b.String())
+	if doc["displayTimeUnit"] != "ns" {
+		t.Errorf("displayTimeUnit = %v, want ns", doc["displayTimeUnit"])
+	}
+	evs := doc["traceEvents"].([]any)
+	// 1 process_name + 3 thread_name (two span tracks + instant track) +
+	// 2 spans + 1 instant.
+	if len(evs) != 7 {
+		t.Fatalf("exported %d events, want 7", len(evs))
+	}
+	byPhase := map[string][]map[string]any{}
+	for _, raw := range evs {
+		e := raw.(map[string]any)
+		ph := e["ph"].(string)
+		byPhase[ph] = append(byPhase[ph], e)
+	}
+	if len(byPhase["M"]) != 4 || len(byPhase["X"]) != 2 || len(byPhase["i"]) != 1 {
+		t.Fatalf("phase counts M=%d X=%d i=%d, want 4/2/1",
+			len(byPhase["M"]), len(byPhase["X"]), len(byPhase["i"]))
+	}
+
+	// Tracks get thread IDs in sorted name order: ch0.b1=0, ch1.b0=1,
+	// dram=2 — deterministic, so repeated exports diff cleanly.
+	read := byPhase["X"][0]
+	if got, want := read["ts"].(float64), 100*1.25/1e3; got != want {
+		t.Errorf("read span ts = %v us, want %v", got, want)
+	}
+	if got, want := read["dur"].(float64), 40*1.25/1e3; got != want {
+		t.Errorf("read span dur = %v us, want %v", got, want)
+	}
+	if got := read["tid"].(float64); got != 0 {
+		t.Errorf("read span tid = %v, want 0 (first sorted track)", got)
+	}
+	if args := read["args"].(map[string]any); args["queue"].(float64) != 30 {
+		t.Errorf("read span args = %v, want queue=30", args)
+	}
+	inst := byPhase["i"][0]
+	if inst["name"] != "REF" || inst["s"] != "g" || inst["tid"].(float64) != 2 {
+		t.Errorf("instant = %v, want name REF, s g, tid 2", inst)
+	}
+	if args := inst["args"].(map[string]any); args["detail"] != "rank 0" {
+		t.Errorf("instant args = %v, want detail 'rank 0'", args)
+	}
+}
+
+func TestChromeTraceDefaults(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, ChromeTraceOptions{}, []TraceSpan{{Name: "s", Track: "t", Start: 2000, End: 3000}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeTrace(t, b.String())
+	evs := doc["traceEvents"].([]any)
+	var sawProcess bool
+	for _, raw := range evs {
+		e := raw.(map[string]any)
+		switch e["ph"] {
+		case "M":
+			if e["name"] == "process_name" {
+				sawProcess = true
+				if name := e["args"].(map[string]any)["name"]; name != "pradram" {
+					t.Errorf("default process name = %v, want pradram", name)
+				}
+			}
+		case "X":
+			// CycleNs defaults to 1 ns/cycle: 2000 cycles -> 2 us.
+			if e["ts"].(float64) != 2 {
+				t.Errorf("default-clock ts = %v us, want 2", e["ts"])
+			}
+		}
+	}
+	if !sawProcess {
+		t.Error("no process_name metadata emitted")
+	}
+}
+
+func TestChromeTraceRejectsBackwardsSpan(t *testing.T) {
+	var b strings.Builder
+	err := WriteChromeTrace(&b, ChromeTraceOptions{}, []TraceSpan{{Name: "s", Track: "t", Start: 10, End: 5}}, nil)
+	if err == nil {
+		t.Fatal("a span ending before it starts must be rejected")
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, ChromeTraceOptions{}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeTrace(t, b.String())
+	evs := doc["traceEvents"].([]any)
+	if len(evs) != 1 { // just the process_name metadata
+		t.Errorf("empty export has %d events, want 1", len(evs))
+	}
+}

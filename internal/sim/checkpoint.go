@@ -129,7 +129,7 @@ func WarmupFingerprint(cfg Config) (string, bool) {
 // by ModelVersion, which is embedded alongside.
 const (
 	ckptMagic  = "pradram-ckpt"
-	ckptFormat = 3 // v3: per-row activation counters + alert/RFM FSM fields
+	ckptFormat = 4 // v4: per-request latency-attribution mark + breakdown
 )
 
 // Checkpoint serializes the system's complete post-warmup state. It must

@@ -187,6 +187,8 @@ func TestCheckpointFieldExclusions(t *testing.T) {
 			func(c *Config) { c.Obs = ObsConfig{EpochCycles: 256, EventLevel: obs.LevelCmd} }},
 		{"PowerCal", "calibration scales the finished energy breakdown post-hoc; no simulated state reads it",
 			func(c *Config) { c.PowerCal = "ghose:10" }},
+		{"LatBreak", "attribution observes command issue without changing it, and the sweep frontier is checkpointed unconditionally",
+			func(c *Config) { c.LatBreak = true; c.LatSpanEvery = 8 }},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -269,6 +271,12 @@ func TestWarmupFingerprintFields(t *testing.T) {
 		"APD":           {mutate: func(c *Config) { c.APD = true }, wantChange: true},
 		"RefreshMode":   {mutate: func(c *Config) { c.RefreshMode = memctrl.RefreshPerBank }, wantChange: true},
 		"PowerCal":      {mutate: func(c *Config) { c.PowerCal = "ghose" }, wantChange: false},
+		// Latency attribution observes scheduling without influencing it
+		// (latency.go's bit-identity tests), and the sweep frontier each
+		// request carries is maintained — and checkpointed — regardless of
+		// the flag, so a checkpoint serves both settings.
+		"LatBreak":     {mutate: func(c *Config) { c.LatBreak = true }, wantChange: false},
+		"LatSpanEvery": {mutate: func(c *Config) { c.LatBreak = true; c.LatSpanEvery = 16 }, wantChange: false},
 		// Mitigation steers alert/RFM scheduling during warmup, and the
 		// table capacity shapes the checkpointed counter tables.
 		"MitThreshold":   {mutate: func(c *Config) { c.MitThreshold = 32 }, wantChange: true},

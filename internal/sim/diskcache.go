@@ -19,7 +19,10 @@ import (
 // additionally rejects any payload whose embedded version disagrees.
 // Container-format changes to the checkpoint encoding itself are versioned
 // separately by ckptFormat (checkpoint.go).
-const ModelVersion = "pradram-model-v2"
+// v3: Result gained always-on write-latency accounting
+// (Ctrl.WriteLatencySum), so v2 cache entries would deserialize with the
+// field silently zero.
+const ModelVersion = "pradram-model-v3"
 
 // diskCache persists one Result per configuration as a JSON file under
 // dir, so repeated praexp invocations and CI reruns skip simulation

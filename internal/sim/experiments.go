@@ -173,6 +173,10 @@ type runKey struct {
 	mitThreshold int
 	mitAlert     int64
 	mitTable     int
+
+	// latency attribution (the latbreak experiment); false keeps the key
+	// string unchanged, like the blocks above.
+	latBreak bool
 }
 
 func (k runKey) String() string {
@@ -187,6 +191,9 @@ func (k runKey) String() string {
 	}
 	if k.powerCal != "" {
 		s += "/cal=" + k.powerCal
+	}
+	if k.latBreak {
+		s += "/latbreak"
 	}
 	return s
 }
@@ -252,6 +259,7 @@ func (r *Runner) config(k runKey) Config {
 	cfg.MitAlertCycles = k.mitAlert
 	cfg.MitTableCap = k.mitTable
 	cfg.PowerCal = k.powerCal
+	cfg.LatBreak = k.latBreak
 	cfg.Obs = r.opt.Obs
 	cfg.NoSkip = r.opt.NoSkip
 	return cfg
@@ -351,6 +359,7 @@ func Experiments() []Experiment {
 		{"pdsweep", "Power-down & refresh management: policy sweep (residency, energy)", ExpPDSweep, keysPDSweep},
 		{"powerband", "Calibrated power bands: min/nominal/max under each correction set", ExpPowerBand, keysPowerBand},
 		{"hammer", "RowHammer mitigation overhead: Alert/RFM under attack, PRA on/off", ExpHammer, keysHammer},
+		{"latbreak", "Latency attribution: per-component read-latency breakdown and tail percentiles", ExpLatBreak, keysLatBreak},
 	}
 }
 

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// Full-system wall-clock benchmarks for latency attribution, paired on/off
+// so tools/benchgate -lat can gate on their ratio without a stored
+// hardware baseline: the off leg proves the always-advancing sweep
+// frontier costs nothing measurable, and the on leg bounds what the
+// deadline sweep, histograms, and span sampling may add on a
+// memory-intensive run. Runs are deterministic, so every iteration does
+// identical work and ns/op differences are pure host effects.
+
+func latBenchCfg(on bool) Config {
+	cfg := DefaultConfig("GUPS")
+	cfg.InstrPerCore = 30_000
+	cfg.WarmupPerCore = 0
+	cfg.Cores = 1
+	if on {
+		cfg.LatBreak = true
+		cfg.LatSpanEvery = 64
+	}
+	return cfg
+}
+
+func benchLat(b *testing.B, on bool) {
+	b.Helper()
+	cfg := latBenchCfg(on)
+	for i := 0; i < b.N; i++ {
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if on && res.Ctrl.ReadLatBreak.Sum() != res.Ctrl.ReadLatencySum {
+			b.Fatal("attribution benchmark violated conservation; the overhead pair is vacuous")
+		}
+	}
+}
+
+func BenchmarkLatBreakOff(b *testing.B) { benchLat(b, false) }
+func BenchmarkLatBreakOn(b *testing.B)  { benchLat(b, true) }

@@ -138,6 +138,38 @@ func (r Result) AvgReadLatencyNs() float64 {
 	return stats.Ratio(float64(r.Ctrl.ReadLatencySum), float64(r.Ctrl.ReadsServed)) * memCycleNs
 }
 
+// AvgWriteLatencyNs returns the mean DRAM write latency (arrival to the
+// end of the write burst) in nanoseconds.
+func (r Result) AvgWriteLatencyNs() float64 {
+	memCycleNs := CPUCycleNs * 4
+	return stats.Ratio(float64(r.Ctrl.WriteLatencySum), float64(r.Ctrl.WritesServed)) * memCycleNs
+}
+
+// ReadLatShare returns component comp's share of the total read latency —
+// the breakdown columns of the latbreak experiment. Zero unless the run
+// had Config.LatBreak set.
+func (r Result) ReadLatShare(comp memctrl.LatComponent) float64 {
+	return stats.Ratio(float64(r.Ctrl.ReadLatBreak[comp]), float64(r.Ctrl.ReadLatBreak.Sum()))
+}
+
+// WriteLatShare is the write-request equivalent of ReadLatShare.
+func (r Result) WriteLatShare(comp memctrl.LatComponent) float64 {
+	return stats.Ratio(float64(r.Ctrl.WriteLatBreak[comp]), float64(r.Ctrl.WriteLatBreak.Sum()))
+}
+
+// ReadLatQuantileNs returns the q-quantile of the read-latency
+// distribution in nanoseconds (log-bucketed, so an upper bound with
+// power-of-two resolution; see stats.LogHist). Zero unless the run had
+// Config.LatBreak set.
+func (r Result) ReadLatQuantileNs(q float64) float64 {
+	return r.Ctrl.ReadLatHist.Quantile(q) * CPUCycleNs * 4
+}
+
+// WriteLatQuantileNs is the write-request equivalent of ReadLatQuantileNs.
+func (r Result) WriteLatQuantileNs(q float64) float64 {
+	return r.Ctrl.WriteLatHist.Quantile(q) * CPUCycleNs * 4
+}
+
 // SumIPC returns the sum of per-core IPCs.
 func (r Result) SumIPC() float64 {
 	var s float64

@@ -73,6 +73,19 @@ type Config struct {
 	MitAlertCycles int64
 	MitTableCap    int
 
+	// LatBreak enables per-request latency attribution (DESIGN.md §4h):
+	// every request's arrival-to-data latency is decomposed cycle-exactly
+	// into queue / bank / timing / refresh / power-down / alert / transfer
+	// components (Result carries the aggregates and percentile
+	// histograms). Attribution observes scheduling without influencing
+	// it: simulated results are bit-identical with the flag off, and the
+	// flag is excluded from the warmup fingerprint for the same reason.
+	LatBreak bool
+	// LatSpanEvery samples every Nth completed request as a LatSpan for
+	// trace export (System.LatSpans); 0 disables sampling. Only
+	// meaningful with LatBreak set.
+	LatSpanEvery int
+
 	// PowerCal selects the measurement-informed power-model calibration
 	// ("none", "vendor", "ghose", optionally with a device-variation
 	// sigma suffix like "ghose:10" — see power.ParseCalibration). It is
@@ -235,6 +248,8 @@ func New(cfg Config) (*System, error) {
 	mcfg.MitThreshold = cfg.MitThreshold
 	mcfg.MitAlertCycles = cfg.MitAlertCycles
 	mcfg.MitTableCap = cfg.MitTableCap
+	mcfg.LatBreak = cfg.LatBreak
+	mcfg.LatSpanEvery = cfg.LatSpanEvery
 	if cfg.Timing != nil {
 		mcfg.Timing = *cfg.Timing
 	}
@@ -547,6 +562,12 @@ func (s *System) Trace() *trace.Trace {
 	}
 	return &s.cap.Trace
 }
+
+// LatSpans returns the sampled per-request latency spans collected over
+// the measured window, oldest first per channel (empty unless
+// Config.LatBreak and LatSpanEvery are set). The obs package's trace
+// exporter turns them into a Chrome-trace/Perfetto file.
+func (s *System) LatSpans() []memctrl.LatSpan { return s.ctrl.LatSpans() }
 
 // Hierarchy exposes the cache hierarchy (for cache-only experiments such
 // as Figure 3).

@@ -6,6 +6,7 @@ package stats
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -79,6 +80,95 @@ func (h *Hist) Merge(other *Hist) {
 	h.N += other.N
 	h.Overflow += other.Overflow
 	h.Underflow += other.Underflow
+}
+
+// Quantile returns the smallest bucket value whose cumulative count reaches
+// the q-th fraction of all observations (q clamped to [0, 1]; 0 with no
+// observations). Clamped observations participate at the edge they were
+// clamped to, so a quantile landing in the top bucket with Overflow > 0 is
+// a lower bound on the true value, and one landing in bucket 0 with
+// Underflow > 0 is an upper bound.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.N)
+	var cum int64
+	for v, c := range h.Buckets {
+		cum += c
+		if float64(cum) >= target && cum > 0 {
+			return float64(v)
+		}
+	}
+	return float64(len(h.Buckets) - 1)
+}
+
+// LogHist is a log2-bucketed histogram of non-negative int64 observations
+// (latencies in cycles, sizes in bytes). Bucket 0 counts zeros; bucket i
+// counts values in [2^(i-1), 2^i). The bucket array is a fixed-size value —
+// no allocation on Add — so one can live inside a hot-path stats struct and
+// be merged or snapshotted by plain assignment.
+type LogHist struct {
+	// N counts all observations; Underflow counts the negative ones, which
+	// clamp into bucket 0 (same visibility rule as Hist).
+	N         int64
+	Underflow int64
+	Buckets   [64]int64
+}
+
+// Add records one observation. Negative values clamp to bucket 0 and are
+// tallied in Underflow.
+func (h *LogHist) Add(v int64) {
+	if v < 0 {
+		v = 0
+		h.Underflow++
+	}
+	h.Buckets[bits.Len64(uint64(v))]++
+	h.N++
+}
+
+// Merge adds other's observations into h.
+func (h *LogHist) Merge(other *LogHist) {
+	for i, c := range other.Buckets {
+		h.Buckets[i] += c
+	}
+	h.N += other.N
+	h.Underflow += other.Underflow
+}
+
+// Quantile returns an upper-bound estimate of the q-th quantile: the
+// inclusive upper edge (2^i - 1) of the smallest bucket whose cumulative
+// count reaches the q-th fraction of all observations (q clamped to [0, 1];
+// 0 with no observations). The log2 bucketing makes the estimate exact for
+// zeros and ones and otherwise overestimates by strictly less than 2x.
+func (h *LogHist) Quantile(q float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.N)
+	var cum int64
+	for i, c := range h.Buckets {
+		cum += c
+		if float64(cum) >= target && cum > 0 {
+			if i == 0 {
+				return 0
+			}
+			return float64(uint64(1)<<uint(i) - 1)
+		}
+	}
+	return float64(uint64(1)<<63 - 1)
 }
 
 // Table renders aligned plain-text tables for the experiment reports.

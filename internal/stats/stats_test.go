@@ -102,6 +102,109 @@ func TestHistSharesSumToOne(t *testing.T) {
 	}
 }
 
+// TestHistQuantileBoundaries pins the quantile convention exactly at the
+// bucket edges: with four observations of 1 and four of 3, the 50th
+// percentile must resolve to the lower bucket (cumulative count reaches
+// exactly half there) and anything above it to the upper.
+func TestHistQuantileBoundaries(t *testing.T) {
+	h := NewHist(8)
+	for i := 0; i < 4; i++ {
+		h.Add(1)
+		h.Add(3)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{-1, 1}, {0, 1}, {0.25, 1}, {0.5, 1}, // cum hits 4/8 at bucket 1
+		{0.500001, 3}, {0.75, 3}, {1, 3}, {2, 3},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if (&Hist{Buckets: make([]int64, 4)}).Quantile(0.5) != 0 {
+		t.Error("empty histogram must report 0")
+	}
+}
+
+// TestHistQuantileClamped pins the Overflow/Underflow interaction: clamped
+// observations participate at the edge buckets, so extreme quantiles land
+// on the edges rather than disappearing.
+func TestHistQuantileClamped(t *testing.T) {
+	h := NewHist(4)
+	h.Add(-5) // clamps to 0
+	h.Add(2)
+	h.Add(99) // clamps to 4
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0 (underflow edge)", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want 4 (overflow edge)", got)
+	}
+	if h.Overflow != 1 || h.Underflow != 1 {
+		t.Errorf("clamp counters = %d/%d, want 1/1", h.Overflow, h.Underflow)
+	}
+}
+
+// TestLogHistBuckets pins the log2 bucket edges: 0 is its own bucket, and
+// each power of two opens a new one.
+func TestLogHistBuckets(t *testing.T) {
+	var h LogHist
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, -1} {
+		h.Add(v)
+	}
+	if h.N != 8 || h.Underflow != 1 {
+		t.Fatalf("N=%d Underflow=%d, want 8/1", h.N, h.Underflow)
+	}
+	want := map[int]int64{0: 2, 1: 1, 2: 2, 3: 2, 4: 1} // -1 clamps into bucket 0
+	for i, c := range h.Buckets {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+// TestLogHistQuantile pins the upper-edge estimate at bucket boundaries:
+// values 4..7 share bucket 3, whose representative is 7.
+func TestLogHistQuantile(t *testing.T) {
+	var h LogHist
+	for i := 0; i < 9; i++ {
+		h.Add(1) // bucket 1, exact
+	}
+	h.Add(5) // bucket 3 -> reported as 7
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %v, want 1", got)
+	}
+	if got := h.Quantile(0.9); got != 1 {
+		t.Errorf("p90 = %v, want 1 (cum reaches 9/10 in bucket 1)", got)
+	}
+	if got := h.Quantile(0.99); got != 7 {
+		t.Errorf("p99 = %v, want 7 (upper edge of bucket 3)", got)
+	}
+	if got := (&LogHist{}).Quantile(0.99); got != 0 {
+		t.Errorf("empty LogHist quantile = %v, want 0", got)
+	}
+
+	var zeros LogHist
+	zeros.Add(0)
+	if got := zeros.Quantile(1); got != 0 {
+		t.Errorf("all-zero quantile = %v, want 0", got)
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	var a, b LogHist
+	a.Add(1)
+	b.Add(16)
+	b.Add(-2)
+	a.Merge(&b)
+	if a.N != 3 || a.Underflow != 1 || a.Buckets[5] != 1 || a.Buckets[1] != 1 {
+		t.Errorf("merge failed: %+v", a)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tb := NewTable("name", "value")
 	tb.Row("alpha", 1.5)

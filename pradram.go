@@ -26,6 +26,15 @@ import (
 	"pradram/internal/workload"
 )
 
+// CPUCycleNs is one CPU cycle in nanoseconds (the 3.2 GHz core clock of
+// Table 3); Result.Cycles converts to wall time through it.
+const CPUCycleNs = sim.CPUCycleNs
+
+// MemCycleNs is one DRAM command-clock cycle in nanoseconds (DDR3-1600:
+// the memory controller ticks every fourth CPU cycle). Latency breakdowns
+// and spans are stamped in this clock.
+const MemCycleNs = sim.CPUCycleNs * 4
+
 // Scheme selects the row-activation architecture (Section 5.2 of the
 // paper).
 type Scheme = memctrl.Scheme
@@ -125,6 +134,23 @@ type ObsConfig = sim.ObsConfig
 // Runner executes experiment simulations with memoization.
 type Runner = sim.Runner
 
+// LatComponent indexes one component of a request's latency breakdown
+// (Config.LatBreak, DESIGN.md §4h): queue, bank, timing, refresh,
+// power-down, alert, transfer.
+type LatComponent = memctrl.LatComponent
+
+// NumLatComponents sizes LatBreakdown.
+const NumLatComponents = memctrl.NumLatComponents
+
+// LatBreakdown is one latency decomposition in memory cycles, indexed by
+// LatComponent; for a completed request (and for the aggregates in
+// Result.Ctrl) the components sum exactly to the arrival-to-data latency.
+type LatBreakdown = memctrl.LatBreakdown
+
+// LatSpan is one sampled request lifetime (Config.LatSpanEvery /
+// System.LatSpans), for trace export.
+type LatSpan = memctrl.LatSpan
+
 // ParseScheme resolves a scheme name ("baseline", "fga", "halfdram",
 // "pra", "halfdram+pra").
 func ParseScheme(name string) (Scheme, error) { return memctrl.ParseScheme(name) }
@@ -194,3 +220,8 @@ func NewRunner(opt ExpOptions) *Runner { return sim.NewRunner(opt) }
 
 // DefaultExpOptions returns the standard experiment budget.
 func DefaultExpOptions() ExpOptions { return sim.DefaultExpOptions() }
+
+// BuildInfo returns the version block the binaries publish over the
+// introspection server (/vars/build): model version, checkpoint format,
+// and the toolchain's module/VCS stamps.
+func BuildInfo() map[string]any { return sim.BuildInfo() }

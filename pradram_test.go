@@ -35,8 +35,8 @@ func TestPublicAPIListings(t *testing.T) {
 	if len(pradram.Hammers()) != 4 {
 		t.Errorf("hammers = %v, want 4", pradram.Hammers())
 	}
-	if len(pradram.Experiments()) != 20 {
-		t.Errorf("experiments = %d, want 20", len(pradram.Experiments()))
+	if len(pradram.Experiments()) != 21 {
+		t.Errorf("experiments = %d, want 21", len(pradram.Experiments()))
 	}
 }
 

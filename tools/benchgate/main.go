@@ -55,7 +55,11 @@
 // attacking and a benign workload, gated on the on/off wall-clock ratios.
 // Measurements go to BENCH_hammer.json.
 //
-// Usage: go run ./tools/benchgate [-speed|-warm|-power|-hammer] [-out FILE] [-count 5]
+// -lat switches to the latency-attribution overhead gate (lat.go): paired
+// full-system runs with per-request latency attribution on and off, gated
+// on the on/off wall-clock ratio. Measurements go to BENCH_lat.json.
+//
+// Usage: go run ./tools/benchgate [-speed|-warm|-power|-hammer|-lat] [-out FILE] [-count 5]
 package main
 
 import (
@@ -175,18 +179,19 @@ func main() {
 	warm := flag.Bool("warm", false, "run the warmup-checkpointing speed gate instead of the telemetry-overhead gate")
 	pwr := flag.Bool("power", false, "run the energy-band golden-table gate instead of the telemetry-overhead gate")
 	hammer := flag.Bool("hammer", false, "run the RowHammer mitigation-overhead gate instead of the telemetry-overhead gate")
-	out := flag.String("out", "", "where to write the measurement report (default BENCH_obs.json; BENCH_speed.json with -speed; BENCH_warm.json with -warm; BENCH_power.json with -power; BENCH_hammer.json with -hammer)")
+	lat := flag.Bool("lat", false, "run the latency-attribution overhead gate instead of the telemetry-overhead gate")
+	out := flag.String("out", "", "where to write the measurement report (default BENCH_obs.json; BENCH_speed.json with -speed; BENCH_warm.json with -warm; BENCH_power.json with -power; BENCH_hammer.json with -hammer; BENCH_lat.json with -lat)")
 	count := flag.Int("count", 5, "benchmark repetitions (minimum is kept)")
 	updatePower, golden := powerFlags()
 	flag.Parse()
 	modes := 0
-	for _, m := range []bool{*speed, *warm, *pwr, *hammer} {
+	for _, m := range []bool{*speed, *warm, *pwr, *hammer, *lat} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "benchgate: -speed, -warm, -power, and -hammer are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "benchgate: -speed, -warm, -power, -hammer, and -lat are mutually exclusive")
 		os.Exit(1)
 	}
 	if *out == "" {
@@ -199,6 +204,8 @@ func main() {
 			*out = "BENCH_power.json"
 		case *hammer:
 			*out = "BENCH_hammer.json"
+		case *lat:
+			*out = "BENCH_lat.json"
 		default:
 			*out = "BENCH_obs.json"
 		}
@@ -212,6 +219,8 @@ func main() {
 		runPower(*out, *golden, *updatePower)
 	case *hammer:
 		runHammer(*out, *count)
+	case *lat:
+		runLat(*out, *count)
 	default:
 		runObs(*out, *count)
 	}
