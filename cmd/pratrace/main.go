@@ -8,6 +8,11 @@
 //	pratrace -record gups.trace -workload GUPS -instr 200000
 //	pratrace -replay gups.trace -scheme pra
 //	pratrace -replay gups.trace -compare          # all schemes side by side
+//
+// Replays on multi-channel controllers tick their channel partitions
+// concurrently by default (parallel-in-time, DESIGN.md §4i) with results
+// bit-identical to the sequential loop; -par N forces N worker shares,
+// -seq forces sequential ticking.
 package main
 
 import (
@@ -35,6 +40,8 @@ func main() {
 		warmup       = flag.Int64("warmup", 300_000, "warmup instructions per core")
 		seed         = flag.Uint64("seed", 1, "workload seed")
 		noskip       = flag.Bool("noskip", false, "disable event-driven cycle skipping in both record and replay (identical results, slower runs)")
+		par          = flag.Int("par", -1, "worker shares for parallel-in-time channel ticking during -replay (results are identical; -1 = auto, 0 = sequential)")
+		seq          = flag.Bool("seq", false, "force sequential channel ticking (same as -par 0)")
 		httpAddr     = flag.String("http", "", "serve pprof introspection on this address (e.g. :6060)")
 
 		pdPolicyName = flag.String("pd-policy", "immediate", "power-down entry policy: immediate | none | timeout | queue")
@@ -78,7 +85,15 @@ func main() {
 			fatal(err)
 		}
 	case *replay != "":
-		if err := doReplay(*replay, *schemeName, *policyName, *compare, *noskip, lowPower); err != nil {
+		// Replays run one at a time (no outer pool), so auto mode gives
+		// the controller every core.
+		shares := *par
+		if *seq {
+			shares = 0
+		} else if shares < 0 {
+			shares = pradram.AutoPar(1)
+		}
+		if err := doReplay(*replay, *schemeName, *policyName, *compare, *noskip, shares, lowPower); err != nil {
 			fatal(err)
 		}
 	default:
@@ -144,7 +159,7 @@ func doRecord(path, workloadName string, instr, warmup int64, seed uint64, noski
 	return f.Sync()
 }
 
-func doReplay(path, schemeName, policyName string, compare, noskip bool, lp lowPowerFlags) error {
+func doReplay(path, schemeName, policyName string, compare, noskip bool, par int, lp lowPowerFlags) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -164,7 +179,7 @@ func doReplay(path, schemeName, policyName string, compare, noskip bool, lp lowP
 			cfg.Mapping = memctrl.LineInterleaved
 		}
 		lp.applyCtrl(&cfg)
-		return trace.ReplayWith(tr, cfg, trace.ReplayOpts{NoSkip: noskip})
+		return trace.ReplayWith(tr, cfg, trace.ReplayOpts{NoSkip: noskip, Parallel: par})
 	}
 
 	policy, err := pradram.ParsePolicy(policyName)

@@ -1,0 +1,180 @@
+package memctrl
+
+import (
+	"testing"
+
+	"pradram/internal/core"
+)
+
+// Merge-order regression for parallel-in-time ticking (pdes.go): when
+// several channels complete reads at the same DRAM tick, the completions
+// must drain in one canonical order — channel index, then capture order —
+// identical to the sequential tick loop and independent of goroutine
+// scheduling. The test drives feedback traffic (each completion enqueues
+// the next read at a pseudo-randomly derived channel), so any ordering
+// divergence would compound into a different address stream and fail the
+// comparison loudly rather than by a single swapped pair.
+
+type completionRec struct {
+	ch int
+	at int64
+}
+
+// pdesTraffic runs a 4-channel controller under closed-loop read traffic
+// plus a periodic write-then-read forward pair, returning the completion
+// log and the controller for counter inspection.
+func pdesTraffic(t *testing.T, workers int) ([]completionRec, *Controller) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Channels = 4
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if workers > 0 {
+		c.EnableParallel(workers)
+	}
+	defer c.StopWorkers()
+
+	g := cfg.Geom
+	lcg := uint64(0x9E3779B97F4A7C15)
+	nextLoc := func() Loc {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return Loc{
+			Channel: int(lcg>>33) % cfg.Channels,
+			Rank:    int(lcg>>41) % g.Ranks,
+			Bank:    int(lcg>>47) % g.Banks,
+			Row:     int(lcg>>17) % g.Rows,
+			Col:     int(lcg>>5) % g.LinesPerRow,
+		}
+	}
+
+	const total = 400
+	var log []completionRec
+	issued := 0
+	var enqueue func()
+	enqueue = func() {
+		loc := nextLoc()
+		ch := loc.Channel
+		ok := c.Read(c.am.Compose(loc), core.Untagged(func(at int64) {
+			log = append(log, completionRec{ch, at})
+			if issued < total {
+				issued++
+				enqueue()
+				if issued%7 == 0 {
+					// A write followed by a read of the same line: the
+					// read is served from the write queue, exercising
+					// the forward (inline-tick) path of the dispatch.
+					fl := nextLoc()
+					faddr := c.am.Compose(fl)
+					c.Write(faddr, core.FullByteMask)
+					fch := fl.Channel
+					if c.Read(faddr, core.Untagged(func(at int64) {
+						log = append(log, completionRec{fch, at})
+					})) {
+						issued++
+					}
+				}
+			}
+		}))
+		if !ok {
+			t.Fatal("read rejected: queues should stay shallow under closed-loop traffic")
+		}
+	}
+
+	// Seed phase: one read per channel to the same (rank, bank, row), so
+	// all four channels run in lockstep and complete at the same tick —
+	// a guaranteed same-cycle cross-partition merge right at the start.
+	for ch := 0; ch < cfg.Channels; ch++ {
+		ch := ch
+		if !c.Read(c.am.Compose(Loc{Channel: ch, Row: 3}), core.Untagged(func(at int64) {
+			log = append(log, completionRec{ch, at})
+		})) {
+			t.Fatal("seed read rejected")
+		}
+	}
+	for i := 0; i < 4; i++ {
+		issued++
+		enqueue()
+	}
+
+	for cpu := int64(0); issued < total && cpu < 10_000_000; cpu++ {
+		c.Tick(cpu)
+	}
+	// Drain the tail so both runs observe every completion.
+	deadline := int64(12_000_000)
+	for cpu := int64(10_000_000); c.Pending() && cpu < deadline; cpu++ {
+		c.Tick(cpu)
+	}
+	if c.Pending() {
+		t.Fatal("traffic never drained")
+	}
+	return log, c
+}
+
+func TestParallelMergeOrderCanonical(t *testing.T) {
+	t.Parallel()
+	seqLog, _ := pdesTraffic(t, 0)
+	parLog, pc := pdesTraffic(t, 3)
+
+	if pc.ParallelTicks() == 0 {
+		t.Fatal("parallel run never dispatched a multi-channel tick; the merge check is vacuous")
+	}
+	// The seed phase must actually produce a same-cycle cross-channel
+	// merge: four completions sharing one timestamp.
+	sameAt := 0
+	for i := 1; i < len(seqLog); i++ {
+		if seqLog[i].at == seqLog[i-1].at && seqLog[i].ch != seqLog[i-1].ch {
+			sameAt++
+		}
+	}
+	if sameAt == 0 {
+		t.Fatal("no same-cycle cross-channel completions observed; the merge check is vacuous")
+	}
+
+	if len(seqLog) != len(parLog) {
+		t.Fatalf("completion counts differ: sequential %d, parallel %d", len(seqLog), len(parLog))
+	}
+	for i := range seqLog {
+		if seqLog[i] != parLog[i] {
+			t.Fatalf("completion order diverges at entry %d: sequential %+v, parallel %+v",
+				i, seqLog[i], parLog[i])
+		}
+	}
+}
+
+// TestEnableParallelDegenerate pins the graceful no-ops: one channel or a
+// one-share request keeps the controller sequential, DisableParallel
+// reverts, and StopWorkers on a sequential controller is harmless.
+func TestEnableParallelDegenerate(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableParallel(8)
+	if c.ParallelEnabled() {
+		t.Error("single-channel controller must stay sequential")
+	}
+	c.StopWorkers()
+
+	cfg.Channels = 4
+	c, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableParallel(1)
+	if c.ParallelEnabled() {
+		t.Error("one worker share must stay sequential")
+	}
+	c.EnableParallel(99)
+	if got := c.ParallelWorkers(); got != 4 {
+		t.Errorf("worker shares must clamp to the channel count: got %d, want 4", got)
+	}
+	c.DisableParallel()
+	if c.ParallelEnabled() || c.ParallelWorkers() != 0 || c.ParallelTicks() != 0 {
+		t.Error("DisableParallel must fully revert to sequential state")
+	}
+}

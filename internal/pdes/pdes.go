@@ -1,0 +1,228 @@
+// Package pdes provides the synchronization core of the conservative
+// parallel-discrete-event engine: a Team of persistent worker goroutines
+// that execute one "share" each of a tick's work between two barriers, and
+// a preallocated Ring that carries deferred cross-partition messages back
+// to the master in a canonical order.
+//
+// The package is deliberately model-agnostic — it knows nothing about DRAM
+// channels. The memctrl layer decides per tick which partitions are
+// provably independent (the conservative lookahead) and hands the Team a
+// (tick, limit) pair; the Team fans the callback out over its shares and
+// returns only when every share has finished, so the caller observes a
+// full happens-before barrier on both sides of the parallel region.
+//
+// Synchronization is built for the steady state of a simulator run:
+// millions of dispatches, each microseconds long. Dispatch publishes the
+// job through one atomic store; workers spin briefly (yielding to the
+// scheduler) before parking on a channel, so a loaded machine makes
+// progress without burning a core and an idle one wakes in nanoseconds.
+// The steady state allocates nothing: jobs are plain fields, wake tokens
+// travel through preallocated 1-buffered channels, and Ring reuses its
+// backing array across ticks.
+package pdes
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// spinBudget bounds how many Gosched-yielding spin iterations a waiter
+// performs before parking on its wake channel. Small enough that a
+// single-core machine falls through to parking almost immediately, large
+// enough that a multi-core steady state almost never parks.
+const spinBudget = 64
+
+// Team runs a fixed callback over n shares per dispatch: share 0 on the
+// calling goroutine, shares 1..n-1 on persistent workers. Workers are
+// started lazily on the first Do and released by Stop; a Team may be
+// restarted by calling Do again after Stop. All methods must be called
+// from a single master goroutine.
+type Team struct {
+	n   int
+	run func(share int, a, b int64)
+
+	// Job payload, published by the release store of epoch (Go atomics
+	// are sequentially consistent, so workers that acquire-load the new
+	// epoch observe these writes).
+	jobA, jobB int64
+	stop       bool
+
+	epoch   atomic.Int64
+	done    atomic.Int64 // total shares completed across all epochs
+	pending int64        // shares dispatched to workers per epoch (n-1)
+
+	workers []teamWorker
+	master  waiter
+	started bool
+}
+
+type teamWorker struct {
+	w waiter
+	// pad keeps adjacent workers' hot atomics off one cache line.
+	_ [64]byte
+}
+
+// waiter is one park/wake slot: parked is set by the waiter before
+// blocking on wake; the signaller clears it with a CAS so exactly one
+// token is sent per park. wake is 1-buffered, so a token sent to a waiter
+// that decided not to block is consumed harmlessly on its next park.
+type waiter struct {
+	parked atomic.Bool
+	wake   chan struct{}
+}
+
+func (w *waiter) init() { w.wake = make(chan struct{}, 1) }
+
+// signal wakes the waiter if it is parked (or has announced it is about
+// to park). Safe to call when the waiter is running: the CAS fails and
+// nothing is sent.
+func (w *waiter) signal() {
+	if w.parked.CompareAndSwap(true, false) {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// await blocks until ready() holds, spinning with scheduler yields before
+// parking. ready must eventually hold after a matching signal.
+func (w *waiter) await(ready func() bool) {
+	for {
+		for i := 0; i < spinBudget; i++ {
+			if ready() {
+				return
+			}
+			runtime.Gosched()
+		}
+		w.parked.Store(true)
+		if ready() {
+			w.parked.Store(false)
+			return
+		}
+		<-w.wake
+	}
+}
+
+// NewTeam creates a Team of n shares executing run. n must be >= 1; run
+// receives the share index and the two int64 payloads passed to Do. With
+// n == 1 Do degenerates to a plain call of run(0, a, b) on the caller.
+func NewTeam(n int, run func(share int, a, b int64)) *Team {
+	if n < 1 {
+		panic("pdes: team size must be >= 1")
+	}
+	t := &Team{n: n, run: run, pending: int64(n - 1)}
+	t.master.init()
+	t.workers = make([]teamWorker, n-1)
+	for i := range t.workers {
+		t.workers[i].w.init()
+	}
+	return t
+}
+
+// Size returns the number of shares.
+func (t *Team) Size() int { return t.n }
+
+// Do executes run(share, a, b) for every share, returning after all have
+// completed. Share 0 runs on the calling goroutine; the rest run
+// concurrently on the worker goroutines.
+func (t *Team) Do(a, b int64) {
+	if t.n == 1 {
+		t.run(0, a, b)
+		return
+	}
+	if !t.started {
+		t.start()
+	}
+	t.jobA, t.jobB = a, b
+	target := t.dispatch()
+	t.run(0, a, b)
+	t.master.await(func() bool { return t.done.Load() >= target })
+}
+
+// dispatch publishes the current job fields as a new epoch and wakes any
+// parked workers; it returns the done-counter value that marks this
+// epoch's completion.
+func (t *Team) dispatch() int64 {
+	e := t.epoch.Add(1)
+	for i := range t.workers {
+		t.workers[i].w.signal()
+	}
+	return e * t.pending
+}
+
+func (t *Team) start() {
+	t.started = true
+	for i := range t.workers {
+		go t.workerLoop(i+1, &t.workers[i].w, t.epoch.Load())
+	}
+}
+
+func (t *Team) workerLoop(share int, w *waiter, seen int64) {
+	for {
+		w.await(func() bool { return t.epoch.Load() != seen })
+		seen = t.epoch.Load()
+		if t.stop {
+			t.done.Add(1)
+			t.master.signal()
+			return
+		}
+		t.run(share, t.jobA, t.jobB)
+		t.done.Add(1)
+		t.master.signal()
+	}
+}
+
+// Stop releases the worker goroutines. Idempotent; a subsequent Do
+// restarts them. Must not be called concurrently with Do.
+func (t *Team) Stop() {
+	if !t.started {
+		return
+	}
+	t.stop = true
+	target := t.dispatch()
+	t.master.await(func() bool { return t.done.Load() >= target })
+	t.stop = false
+	t.started = false
+}
+
+// Msg is one deferred cross-partition message: an opaque payload pair
+// recorded where it was produced and replayed by the master in ring order.
+type Msg struct {
+	Fn func(int64) // completion callback (value-copied at capture time)
+	At int64       // callback argument (CPU cycle of completion)
+}
+
+// Ring is a grow-once FIFO of deferred messages. A partition whose events
+// must not fire mid-parallel-phase appends to its Ring during the tick;
+// the master drains it in append order after the barrier. Append order
+// within one partition equals sequential callback order, and the master
+// drains partitions in canonical index order, so the global replay order
+// is scheduler-independent. The backing array is retained across ticks —
+// steady-state appends allocate nothing once the high-water mark is
+// reached.
+type Ring struct {
+	buf []Msg
+}
+
+// NewRing preallocates capacity for n messages.
+func NewRing(n int) *Ring {
+	return &Ring{buf: make([]Msg, 0, n)}
+}
+
+// Push appends a message.
+func (r *Ring) Push(m Msg) { r.buf = append(r.buf, m) }
+
+// Len returns the number of pending messages.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Drain invokes every pending message's callback in append order and
+// empties the ring, retaining its capacity.
+func (r *Ring) Drain() {
+	for i := range r.buf {
+		m := &r.buf[i]
+		m.Fn(m.At)
+		m.Fn = nil // drop the closure reference for the GC
+	}
+	r.buf = r.buf[:0]
+}

@@ -1,0 +1,128 @@
+package pdes
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTeamRunsEveryShare checks that each dispatch executes every share
+// exactly once with the dispatched payload, across many epochs and after
+// a Stop/restart cycle.
+func TestTeamRunsEveryShare(t *testing.T) {
+	t.Parallel()
+	const n = 4
+	var counts [n]atomic.Int64
+	var sum atomic.Int64
+	team := NewTeam(n, func(share int, a, b int64) {
+		counts[share].Add(1)
+		sum.Add(a + b)
+	})
+	if team.Size() != n {
+		t.Fatalf("Size() = %d, want %d", team.Size(), n)
+	}
+	const epochs = 1000
+	var want int64
+	for i := int64(0); i < epochs; i++ {
+		team.Do(i, 2*i)
+		want += n * 3 * i
+	}
+	team.Stop()
+	// Restart after Stop must work.
+	team.Do(1, 1)
+	want += n * 2
+	team.Stop()
+	for s := range counts {
+		if got := counts[s].Load(); got != epochs+1 {
+			t.Errorf("share %d ran %d times, want %d", s, got, epochs+1)
+		}
+	}
+	if got := sum.Load(); got != want {
+		t.Errorf("payload sum = %d, want %d", got, want)
+	}
+}
+
+// TestTeamSingleShare checks the n==1 degenerate case stays a plain call
+// with no goroutines.
+func TestTeamSingleShare(t *testing.T) {
+	t.Parallel()
+	before := runtime.NumGoroutine()
+	ran := 0
+	team := NewTeam(1, func(share int, a, b int64) {
+		if share != 0 || a != 7 || b != 9 {
+			t.Errorf("run(%d, %d, %d), want run(0, 7, 9)", share, a, b)
+		}
+		ran++
+	})
+	team.Do(7, 9)
+	team.Stop()
+	if ran != 1 {
+		t.Fatalf("ran %d times, want 1", ran)
+	}
+	if after := runtime.NumGoroutine(); after > before+1 {
+		t.Errorf("goroutines grew from %d to %d for a single-share team", before, after)
+	}
+}
+
+// TestTeamBarrier checks that Do is a full barrier: writes made by worker
+// shares are visible to the master after Do returns, with no atomics on
+// the data itself (the race detector patrols this under -race).
+func TestTeamBarrier(t *testing.T) {
+	t.Parallel()
+	const n = 3
+	cells := make([]int64, n)
+	team := NewTeam(n, func(share int, a, b int64) {
+		cells[share] = a * int64(share+1)
+	})
+	defer team.Stop()
+	for i := int64(1); i <= 500; i++ {
+		team.Do(i, 0)
+		for s := int64(0); s < n; s++ {
+			if cells[s] != i*(s+1) {
+				t.Fatalf("epoch %d: cells[%d] = %d, want %d", i, s, cells[s], i*(s+1))
+			}
+		}
+	}
+}
+
+// TestRingOrder checks Drain replays messages in append order and the
+// backing array is reused (steady state allocates nothing).
+func TestRingOrder(t *testing.T) {
+	t.Parallel()
+	r := NewRing(8)
+	var got []int64
+	for round := 0; round < 3; round++ {
+		got = got[:0]
+		for i := int64(0); i < 5; i++ {
+			r.Push(Msg{Fn: func(at int64) { got = append(got, at) }, At: i})
+		}
+		if r.Len() != 5 {
+			t.Fatalf("Len = %d, want 5", r.Len())
+		}
+		r.Drain()
+		if r.Len() != 0 {
+			t.Fatalf("Len after Drain = %d, want 0", r.Len())
+		}
+		for i, at := range got {
+			if at != int64(i) {
+				t.Fatalf("round %d: drain order %v, want ascending", round, got)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Push(Msg{Fn: func(int64) {}, At: 1})
+		r.Drain()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state push/drain allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkTeamDispatch(b *testing.B) {
+	team := NewTeam(2, func(share int, a, b int64) {})
+	defer team.Stop()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		team.Do(int64(i), 0)
+	}
+}

@@ -51,6 +51,7 @@ type warmupKey struct {
 	CPUPerMem     int64       // normalized to the effective clock ratio
 	NoSkip        bool        // changes the executed-tick count carried across the boundary
 	MaxCycles     int64       // changes where a stuck warmup aborts
+	Channels      int         // changes address decomposition, hence all warmup traffic
 
 	// Power-down and refresh management all steer controller decisions
 	// during warmup (entry timing, refresh scheduling), so they are part
@@ -104,6 +105,7 @@ func WarmupFingerprint(cfg Config) (string, bool) {
 		CPUPerMem:      memctrl.DefaultConfig().CPUPerMem,
 		NoSkip:         cfg.NoSkip,
 		MaxCycles:      cfg.MaxCycles,
+		Channels:       cfg.Channels,
 		PDPolicy:       cfg.PDPolicy,
 		PDTimeout:      cfg.PDTimeout,
 		SRTimeout:      cfg.SRTimeout,

@@ -189,6 +189,8 @@ func TestCheckpointFieldExclusions(t *testing.T) {
 			func(c *Config) { c.PowerCal = "ghose:10" }},
 		{"LatBreak", "attribution observes command issue without changing it, and the sweep frontier is checkpointed unconditionally",
 			func(c *Config) { c.LatBreak = true; c.LatSpanEvery = 8 }},
+		{"Par", "parallel-in-time ticking reproduces the sequential tick order bit-exactly (pdes identity suite), and checkpoints are taken between ticks with the workers parked",
+			func(c *Config) { c.Par = 2 }},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -259,6 +261,10 @@ func TestWarmupFingerprintFields(t *testing.T) {
 		"Seed":          {mutate: func(c *Config) { c.Seed = 99 }, wantChange: true},
 		"MaxCycles":     {mutate: func(c *Config) { c.MaxCycles = 1 << 40 }, wantChange: true},
 		"NoSkip":        {mutate: func(c *Config) { c.NoSkip = true }, wantChange: true},
+		"Channels":      {mutate: func(c *Config) { c.Channels = 4 }, wantChange: true},
+		// Parallel-in-time ticking is bit-identical to sequential (the
+		// pdes identity suite), so a checkpoint serves both settings.
+		"Par": {mutate: func(c *Config) { c.Par = 2 }, wantChange: false},
 		"CPU":           {mutate: func(c *Config) { c.CPU.ROB = 64 }, wantChange: true},
 		"Generator":     {unsupported: true},
 		"Timing":        {mutate: func(c *Config) { t := c.timingOrDefault(); t.TRCD = 99; c.Timing = &t }, wantChange: true},

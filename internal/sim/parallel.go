@@ -16,12 +16,32 @@ import (
 // therefore never reorder or perturb a table — the determinism test and
 // the fig9 golden test enforce exactly that.
 
-// workers resolves the configured pool size.
+// workers resolves the configured pool size. The default tracks
+// runtime.GOMAXPROCS(0) rather than NumCPU so an operator capping the
+// process with the GOMAXPROCS environment variable caps the campaign too.
 func (r *Runner) workers() int {
 	if r.opt.Workers > 0 {
 		return r.opt.Workers
 	}
-	return runtime.NumCPU()
+	return runtime.GOMAXPROCS(0)
+}
+
+// AutoPar picks a Config.Par worker-share count that composes with an
+// outer level of parallelism without oversubscribing the machine. The two
+// levels multiply — outer campaign workers (praexp/prasim -j) each ticking
+// a system whose controller runs Par shares — so the budget for the inner
+// level is GOMAXPROCS(0)/outer: a campaign that already saturates the
+// machine gets 0 (sequential ticking, today's BENCH_speed behaviour), and
+// a single interactive run gets every core. outer < 1 is treated as 1.
+func AutoPar(outer int) int {
+	if outer < 1 {
+		outer = 1
+	}
+	w := runtime.GOMAXPROCS(0) / outer
+	if w < 2 {
+		return 0
+	}
+	return w
 }
 
 // Precompute executes the given configurations across the runner's worker

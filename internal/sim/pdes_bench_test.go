@@ -1,0 +1,54 @@
+package sim
+
+import "testing"
+
+// Full-system wall-clock benchmarks for parallel-in-time ticking, paired
+// seq/par so tools/benchgate -pdes can gate on their ratio without a
+// stored hardware baseline:
+//
+//   - The multi-channel pair (four-core lbm over four channels) is where
+//     partitioned ticking must win: lbm's scatter stores keep all four
+//     write queues draining concurrently, and a draining channel with an
+//     empty read queue is provably completion-free, so nearly every
+//     executed tick dispatches the full channel set to the worker team.
+//     Its seq/par ratio is the speedup gate — enforced only when the
+//     process actually has cores to parallelize over (benchgate checks
+//     GOMAXPROCS; the measurement is recorded either way).
+//   - The one-channel pair is the degenerate case: with nothing to
+//     partition, EnableParallel declines and requesting -par must cost
+//     nothing. Its par/seq ratio is the overhead ceiling.
+//
+// Runs are deterministic and bit-identical across modes (the pdes
+// identity suite enforces it), so ns/op differences are pure host and
+// scheduling effects.
+
+func pdesBenchCfg(channels int) Config {
+	cfg := DefaultConfig("lbm")
+	cfg.Channels = channels
+	cfg.InstrPerCore = 120_000
+	cfg.WarmupPerCore = 30_000
+	return cfg
+}
+
+func benchPdes(b *testing.B, channels, par int) {
+	b.Helper()
+	cfg := pdesBenchCfg(channels)
+	cfg.Par = par
+	for i := 0; i < b.N; i++ {
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if par > 0 && channels > 1 && s.Controller().ParallelTicks() == 0 {
+			b.Fatal("parallel benchmark never dispatched a parallel tick")
+		}
+	}
+}
+
+func BenchmarkPdesMultiChanSeq(b *testing.B) { benchPdes(b, 4, 0) }
+func BenchmarkPdesMultiChanPar(b *testing.B) { benchPdes(b, 4, 4) }
+func BenchmarkPdesOneChanSeq(b *testing.B)   { benchPdes(b, 1, 0) }
+func BenchmarkPdesOneChanPar(b *testing.B)   { benchPdes(b, 1, 4) }

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pradram/internal/memctrl"
+	"pradram/internal/obs"
+)
+
+// Bit-identity matrix for parallel-in-time ticking (DESIGN.md §4i): a run
+// whose memory controller ticks its channels concurrently over the
+// conservative PDES dispatch must be indistinguishable — Result, epoch
+// timeline, event log — from the sequential tick loop, across schemes,
+// workloads, skip modes, mitigation, and checkpoint restore. Unlike the
+// skip matrix this one widens the controller to four channels, since two
+// is the degenerate minimum for a partitioned run.
+
+// pdesPar is the worker-share count the identity cells request: odd on
+// purpose, so the round-robin channel assignment is uneven (shares own
+// {0,3}, {1}, {2} of four channels) and share boundaries move relative to
+// the dispatch prefix.
+const pdesPar = 3
+
+// pdesCfg sizes a matrix cell: four channels, recorder-only telemetry
+// (the event trace forces the sequential fallback, covered separately by
+// TestPdesEventTraceFallsBackSequential).
+func pdesCfg(workload string) Config {
+	cfg := DefaultConfig(workload)
+	cfg.Cores = 2
+	cfg.Channels = 4
+	cfg.InstrPerCore = 8_000
+	cfg.WarmupPerCore = 2_000
+	cfg.Obs = ObsConfig{EpochCycles: 512}
+	return cfg
+}
+
+// runSeqPar executes cfg sequentially and with parallel-in-time ticking
+// and returns both systems with their results.
+func runSeqPar(t *testing.T, cfg Config) (seq, par *System, rs, rp Result) {
+	t.Helper()
+	run := func(shares int) (*System, Result) {
+		c := cfg
+		c.Par = shares
+		s, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, r
+	}
+	seq, rs = run(0)
+	par, rp = run(pdesPar)
+	return
+}
+
+// requireParEngaged fails the test if the parallel run never dispatched a
+// multi-channel tick — the non-vacuity guard of every identity cell.
+func requireParEngaged(t *testing.T, par *System) {
+	t.Helper()
+	ctrl := par.Controller()
+	if !ctrl.ParallelEnabled() {
+		t.Fatal("parallel ticking is not enabled on the par system")
+	}
+	if got, want := ctrl.ParallelWorkers(), pdesPar; got != want {
+		t.Fatalf("ParallelWorkers() = %d, want %d", got, want)
+	}
+	if ctrl.ParallelTicks() == 0 {
+		t.Error("run never dispatched a parallel tick; the identity check is vacuous")
+	}
+	if ctrl.ParallelChannelTicks() < ctrl.ParallelTicks() {
+		t.Errorf("channel-tick counter %d below dispatch counter %d",
+			ctrl.ParallelChannelTicks(), ctrl.ParallelTicks())
+	}
+}
+
+// TestPdesBitIdentityMatrix is the tentpole's correctness contract: every
+// activation scheme crossed with representative workloads (plus noskip,
+// DBI, power-down, latency-attribution, and mitigation variants riding on
+// single cells) must produce bit-identical Results and timelines whether
+// the channels tick sequentially or concurrently.
+func TestPdesBitIdentityMatrix(t *testing.T) {
+	t.Parallel()
+	type variant struct {
+		name string
+		mod  func(*Config)
+	}
+	variants := []variant{{"plain", func(*Config) {}}}
+	for _, sch := range memctrl.Schemes() {
+		for _, wl := range []string{"GUPS", "LinkedList", "bzip2"} {
+			sch, wl := sch, wl
+			name := fmt.Sprintf("%s/%s", sch, wl)
+			vs := variants
+			if sch == memctrl.PRA && wl == "GUPS" {
+				// Feature variants ride on one cell of the matrix
+				// rather than multiplying the whole sweep.
+				vs = []variant{
+					{"plain", func(*Config) {}},
+					{"noskip", func(c *Config) { c.NoSkip = true }},
+					{"DBI", func(c *Config) { c.DBI = true }},
+					{"latbreak", func(c *Config) { c.LatBreak = true; c.LatSpanEvery = 8 }},
+					{"pd-sr", func(c *Config) {
+						c.PDPolicy = memctrl.PDTimed
+						c.PDTimeout = 64
+						c.SRTimeout = 4_096
+						c.RefreshMode = memctrl.RefreshElastic
+					}},
+				}
+			}
+			for _, v := range vs {
+				v := v
+				sub := name
+				if v.name != "plain" {
+					sub = name + "/" + v.name
+				}
+				t.Run(sub, func(t *testing.T) {
+					t.Parallel()
+					cfg := pdesCfg(wl)
+					cfg.Scheme = sch
+					v.mod(&cfg)
+					seq, par, rs, rp := runSeqPar(t, cfg)
+					checkIdentical(t, seq, par, rs, rp)
+					if seq.Controller().ParallelEnabled() {
+						t.Error("sequential control run has parallel ticking enabled")
+					}
+					if wl != "bzip2" {
+						requireParEngaged(t, par)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPdesHammerIdentity crosses parallel ticking with the Alert/RFM
+// mitigation on the double-sided hammer — the hardest scheduling case:
+// alert back-off deadlines and RFM issue are per-channel FSM state whose
+// tick must not move relative to cross-channel completions — in both skip
+// modes.
+func TestPdesHammerIdentity(t *testing.T) {
+	t.Parallel()
+	for _, noskip := range []bool{false, true} {
+		noskip := noskip
+		name := "skip"
+		if noskip {
+			name = "noskip"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := pdesCfg("HammerDouble")
+			cfg.Scheme = memctrl.PRA
+			cfg.MitThreshold = hammerMitThreshold
+			cfg.NoSkip = noskip
+			seq, par, rs, rp := runSeqPar(t, cfg)
+			checkIdentical(t, seq, par, rs, rp)
+			requireParEngaged(t, par)
+			if rp.Ctrl.Alerts == 0 {
+				t.Error("hammer run raised no alerts; the mitigation cell is vacuous")
+			}
+		})
+	}
+}
+
+// TestPdesCheckpointRestoreIdentity proves the cold/restore axis of the
+// matrix: a checkpoint taken by a sequential warmup restores into a
+// parallel system (and vice versa — Par is excluded from the warmup
+// fingerprint) and measures bit-identically to the sequential monolithic
+// run.
+func TestPdesCheckpointRestoreIdentity(t *testing.T) {
+	t.Parallel()
+	cells := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"PRA-GUPS", func(c *Config) { c.Scheme = memctrl.PRA }},
+		{"hammer-mit", func(c *Config) {
+			c.Workload = "HammerDouble"
+			c.Scheme = memctrl.PRA
+			c.MitThreshold = hammerMitThreshold
+		}},
+		{"pd-lbm", func(c *Config) {
+			c.Workload = "lbm"
+			c.PDPolicy = memctrl.PDTimed
+			c.PDTimeout = 64
+		}},
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := pdesCfg("GUPS")
+			cell.mod(&cfg)
+			seqCfg, parCfg := cfg, cfg
+			parCfg.Par = pdesPar
+
+			seqSys, err := New(seqCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := seqSys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Sequential warmup's checkpoint, measured in parallel mode.
+			data := warmAndCheckpoint(t, seqCfg)
+			parSys, got := restoreAndMeasure(t, parCfg, data)
+			checkIdentical(t, seqSys, parSys, want, got)
+			requireParEngaged(t, parSys)
+
+			// Parallel warmup's checkpoint, measured sequentially.
+			dataPar := warmAndCheckpoint(t, parCfg)
+			if !reflect.DeepEqual(data, dataPar) {
+				t.Error("sequential and parallel warmups produced different checkpoint bytes")
+			}
+			seqSys2, got2 := restoreAndMeasure(t, seqCfg, dataPar)
+			checkIdentical(t, seqSys, seqSys2, want, got2)
+		})
+	}
+}
+
+// TestPdesEventTraceFallsBackSequential pins the fallback rule: a run
+// that records the structured event trace must tick sequentially even
+// when Par is set (event order through the shared ring is part of the
+// bit-identity contract), and its output must still match the sequential
+// run exactly — including the event log.
+func TestPdesEventTraceFallsBackSequential(t *testing.T) {
+	t.Parallel()
+	cfg := pdesCfg("GUPS")
+	cfg.Scheme = memctrl.PRA
+	cfg.Obs = ObsConfig{EpochCycles: 512, EventLevel: obs.LevelCmd}
+	seq, par, rs, rp := runSeqPar(t, cfg)
+	checkIdentical(t, seq, par, rs, rp)
+	ctrl := par.Controller()
+	if ctrl.ParallelEnabled() {
+		t.Error("event-tracing run kept parallel ticking enabled; must fall back to sequential")
+	}
+	if ctrl.ParallelTicks() != 0 {
+		t.Errorf("event-tracing run dispatched %d parallel ticks", ctrl.ParallelTicks())
+	}
+	if len(par.Events().Events()) == 0 {
+		t.Error("fallback run recorded no events; the comparison is vacuous")
+	}
+}
+
+// FuzzPdesWindowBoundaries randomizes the edges the conservative dispatch
+// must never mispredict across: refresh scheduling (per-bank and elastic
+// modes push REF against busy windows), power-down entry/exit timeouts,
+// and mitigation alert deadlines. For any input the sequential and
+// parallel runs must agree on the Result and the sampled timeline.
+func FuzzPdesWindowBoundaries(f *testing.F) {
+	f.Add(int64(3_000), uint64(1), uint8(0), uint8(0), int64(0), int64(0))
+	f.Add(int64(2_000), uint64(7), uint8(1), uint8(1), int64(64), int64(4_096))
+	f.Add(int64(4_000), uint64(42), uint8(3), uint8(2), int64(1), int64(1))
+	f.Add(int64(1_000), uint64(3), uint8(2), uint8(1), int64(200), int64(0))
+	f.Fuzz(func(t *testing.T, instr int64, seed uint64, wsel, rsel uint8, pdTimeout, srTimeout int64) {
+		if instr < 100 || instr > 20_000 || pdTimeout < 0 || pdTimeout > 1<<20 ||
+			srTimeout < 0 || srTimeout > 1<<24 {
+			t.Skip()
+		}
+		workloads := []string{"GUPS", "lbm", "LinkedList", "HammerDouble"}
+		cfg := pdesCfg(workloads[int(wsel)%len(workloads)])
+		cfg.InstrPerCore = instr
+		cfg.WarmupPerCore = instr / 4
+		cfg.Seed = seed%1000 + 1
+		switch rsel % 3 {
+		case 1:
+			cfg.RefreshMode = memctrl.RefreshPerBank
+		case 2:
+			cfg.RefreshMode = memctrl.RefreshElastic
+		}
+		if pdTimeout > 0 {
+			cfg.PDPolicy = memctrl.PDTimed
+			cfg.PDTimeout = pdTimeout
+		}
+		cfg.SRTimeout = srTimeout
+		if cfg.Workload == "HammerDouble" {
+			cfg.MitThreshold = hammerMitThreshold
+		}
+		seq, par, rs, rp := runSeqPar(t, cfg)
+		if !reflect.DeepEqual(rs, rp) {
+			t.Errorf("Results differ (instr %d, seed %d, wsel %d, rsel %d, pd %d, sr %d)",
+				instr, seed, wsel, rsel, pdTimeout, srTimeout)
+		}
+		ts, tp := seq.Recorder().Snapshot(), par.Recorder().Snapshot()
+		if !reflect.DeepEqual(ts, tp) {
+			t.Errorf("timelines differ (instr %d, seed %d): %d vs %d rows",
+				instr, seed, len(ts.Rows), len(tp.Rows))
+		}
+	})
+}

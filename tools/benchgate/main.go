@@ -59,7 +59,14 @@
 // full-system runs with per-request latency attribution on and off, gated
 // on the on/off wall-clock ratio. Measurements go to BENCH_lat.json.
 //
-// Usage: go run ./tools/benchgate [-speed|-warm|-power|-hammer|-lat] [-out FILE] [-count 5]
+// -pdes switches to the parallel-in-time ticking gate (pdes.go): paired
+// full-system runs with the conservative PDES channel dispatch on and
+// off. The multi-channel pair gates a speedup floor (enforced only when
+// the host has real cores to parallelize over — GOMAXPROCS is recorded
+// in the report); the one-channel pair gates the degenerate-case
+// overhead ceiling unconditionally. Measurements go to BENCH_pdes.json.
+//
+// Usage: go run ./tools/benchgate [-speed|-warm|-power|-hammer|-lat|-pdes] [-out FILE] [-count 5]
 package main
 
 import (
@@ -180,18 +187,19 @@ func main() {
 	pwr := flag.Bool("power", false, "run the energy-band golden-table gate instead of the telemetry-overhead gate")
 	hammer := flag.Bool("hammer", false, "run the RowHammer mitigation-overhead gate instead of the telemetry-overhead gate")
 	lat := flag.Bool("lat", false, "run the latency-attribution overhead gate instead of the telemetry-overhead gate")
-	out := flag.String("out", "", "where to write the measurement report (default BENCH_obs.json; BENCH_speed.json with -speed; BENCH_warm.json with -warm; BENCH_power.json with -power; BENCH_hammer.json with -hammer; BENCH_lat.json with -lat)")
+	pdes := flag.Bool("pdes", false, "run the parallel-in-time ticking gate instead of the telemetry-overhead gate")
+	out := flag.String("out", "", "where to write the measurement report (default BENCH_obs.json; BENCH_speed.json with -speed; BENCH_warm.json with -warm; BENCH_power.json with -power; BENCH_hammer.json with -hammer; BENCH_lat.json with -lat; BENCH_pdes.json with -pdes)")
 	count := flag.Int("count", 5, "benchmark repetitions (minimum is kept)")
 	updatePower, golden := powerFlags()
 	flag.Parse()
 	modes := 0
-	for _, m := range []bool{*speed, *warm, *pwr, *hammer, *lat} {
+	for _, m := range []bool{*speed, *warm, *pwr, *hammer, *lat, *pdes} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "benchgate: -speed, -warm, -power, -hammer, and -lat are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "benchgate: -speed, -warm, -power, -hammer, -lat, and -pdes are mutually exclusive")
 		os.Exit(1)
 	}
 	if *out == "" {
@@ -206,6 +214,8 @@ func main() {
 			*out = "BENCH_hammer.json"
 		case *lat:
 			*out = "BENCH_lat.json"
+		case *pdes:
+			*out = "BENCH_pdes.json"
 		default:
 			*out = "BENCH_obs.json"
 		}
@@ -221,6 +231,8 @@ func main() {
 		runHammer(*out, *count)
 	case *lat:
 		runLat(*out, *count)
+	case *pdes:
+		runPdes(*out, *count)
 	default:
 		runObs(*out, *count)
 	}
