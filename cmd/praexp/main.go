@@ -13,6 +13,12 @@
 //	praexp -exp all -cache ~/.cache/pradram   # reuse results across runs
 //	praexp -exp all -ckpt-dir ~/.cache/pradram-ckpt   # reuse warmups too
 //	praexp -exp all -http :6060    # live progress JSON + pprof
+//	praexp -exp tensor             # analytic vs measured tensor-stream ACT rates
+//
+// Beyond the paper's artifacts, extension experiments (DESIGN.md §4b-§4j)
+// cover power-down/refresh sweeps, RowHammer mitigation overhead, latency
+// attribution, and the tensor loop-permutation locality study; -list
+// enumerates all of them.
 //
 // While a campaign runs, a progress line (runs done / in flight / ETA)
 // refreshes on stderr about once a second (-q silences it); tables print

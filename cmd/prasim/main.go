@@ -8,11 +8,16 @@
 //	prasim -workload MIX2 -scheme halfdram+pra -policy restricted
 //	prasim -workload libquantum -scheme baseline -instr 2000000 -dbi
 //	prasim -workload GUPS,em3d,MIX2 -j 3       # parallel fan-out
+//	prasim -mix gups:2,linkedlist:2 -scheme pra  # custom SPEC-rate co-run
 //
 // -workload accepts a comma-separated list; the runs execute across a
 // -j-sized worker pool and the reports print in the order given, so the
 // output is identical for every -j (each run is deterministic and
 // independent). With -json, one JSON document is emitted per workload.
+// -mix runs one custom multi-program co-run instead: a name[:count],...
+// spec over any single-core workloads (benchmarks, hammers, tensor
+// streams) whose counts sum to -cores, with per-core attribution in the
+// report.
 //
 // -ckpt-dir persists warmup checkpoints (DESIGN.md §4e): a later
 // invocation whose configuration shares a warmup fingerprint restores the
@@ -79,6 +84,7 @@ import (
 func main() {
 	var (
 		workloadName = flag.String("workload", "GUPS", "benchmark or MIXn (comma-separated for a batch; see -list)")
+		mixSpec      = flag.String("mix", "", "run one custom co-run spec name[:count],... (e.g. gups:2,linkedlist:2); counts must sum to -cores")
 		schemeName   = flag.String("scheme", "baseline", "baseline | fga | halfdram | pra | halfdram+pra")
 		policyName   = flag.String("policy", "relaxed", "relaxed | restricted")
 		dbi          = flag.Bool("dbi", false, "enable Dirty-Block-Index proactive writeback")
@@ -124,7 +130,9 @@ func main() {
 	if *list {
 		fmt.Println("benchmarks:", pradram.Workloads())
 		fmt.Println("hammers:   ", pradram.Hammers())
+		fmt.Println("tensors:   ", pradram.Tensors())
 		fmt.Println("mixes:     ", pradram.Mixes())
+		fmt.Println("co-runs:    any single-core names as name[:count],... via -mix")
 		return
 	}
 
@@ -154,6 +162,12 @@ func main() {
 	}
 
 	names := strings.Split(*workloadName, ",")
+	if *mixSpec != "" {
+		// A co-run spec contains commas itself, so it cannot ride the
+		// comma-separated batch list; -mix submits the whole spec as one
+		// multi-program run instead.
+		names = []string{*mixSpec}
+	}
 
 	// Resolve the worker-share count for parallel-in-time ticking. The
 	// automatic choice budgets against the *effective* outer parallelism:

@@ -6,8 +6,15 @@
 // Usage:
 //
 //	pratrace -record gups.trace -workload GUPS -instr 200000
+//	pratrace -record mix.trace -workload GUPS:2,LinkedList:2
+//	pratrace -info gups.trace                     # header + chunk index, no decode
 //	pratrace -replay gups.trace -scheme pra
 //	pratrace -replay gups.trace -compare          # all schemes side by side
+//
+// Traces record in the chunked, seekable v2 format ("PRA2", DESIGN.md
+// §4j) unless -v1 selects the legacy format; both replay identically.
+// Replays stream records straight off the file — no trace is ever
+// materialized in memory, so file size is bounded by disk, not RAM.
 //
 // Replays on multi-channel controllers tick their channel partitions
 // concurrently by default (parallel-in-time, DESIGN.md §4i) with results
@@ -18,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pradram"
@@ -32,7 +40,9 @@ func main() {
 	var (
 		record       = flag.String("record", "", "record a trace from -workload into this file")
 		replay       = flag.String("replay", "", "replay the trace in this file")
-		workloadName = flag.String("workload", "GUPS", "workload to record")
+		info         = flag.String("info", "", "print the trace file's header and chunk index without decoding records")
+		v1           = flag.Bool("v1", false, "record in the legacy v1 format instead of chunked v2")
+		workloadName = flag.String("workload", "GUPS", "workload to record (a name or a name[:count],... mix spec)")
 		schemeName   = flag.String("scheme", "baseline", "scheme for -replay")
 		policyName   = flag.String("policy", "relaxed", "policy for -replay")
 		compare      = flag.Bool("compare", false, "replay under every scheme")
@@ -81,7 +91,11 @@ func main() {
 
 	switch {
 	case *record != "":
-		if err := doRecord(*record, *workloadName, *instr, *warmup, *seed, *noskip, lowPower); err != nil {
+		if err := doRecord(*record, *workloadName, *instr, *warmup, *seed, *noskip, *v1, lowPower); err != nil {
+			fatal(err)
+		}
+	case *info != "":
+		if err := doInfo(*info); err != nil {
 			fatal(err)
 		}
 	case *replay != "":
@@ -97,7 +111,7 @@ func main() {
 			fatal(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "pratrace: need -record FILE or -replay FILE")
+		fmt.Fprintln(os.Stderr, "pratrace: need -record FILE, -replay FILE, or -info FILE")
 		os.Exit(2)
 	}
 }
@@ -129,7 +143,7 @@ func (l lowPowerFlags) applyCtrl(cfg *memctrl.Config) {
 	cfg.RefreshMode = l.refMode
 }
 
-func doRecord(path, workloadName string, instr, warmup int64, seed uint64, noskip bool, lp lowPowerFlags) error {
+func doRecord(path, workloadName string, instr, warmup int64, seed uint64, noskip, v1 bool, lp lowPowerFlags) error {
 	cfg := pradram.DefaultConfig(workloadName)
 	cfg.InstrPerCore = instr
 	cfg.WarmupPerCore = warmup
@@ -151,12 +165,79 @@ func doRecord(path, workloadName string, instr, warmup int64, seed uint64, noski
 		return err
 	}
 	defer f.Close()
-	if err := tr.Save(f); err != nil {
+	save, format := tr.SaveV2, "v2"
+	if v1 {
+		save, format = tr.Save, "v1"
+	}
+	if err := save(f); err != nil {
 		return err
 	}
-	fmt.Printf("recorded %d requests (%d reads, %d writes) from %s over %d cycles -> %s\n",
-		tr.Len(), res.Ctrl.ReadsServed, res.Ctrl.WritesServed, workloadName, res.Cycles, path)
+	fmt.Printf("recorded %d requests (%d reads, %d writes) from %s over %d cycles -> %s (%s)\n",
+		tr.Len(), res.Ctrl.ReadsServed, res.Ctrl.WritesServed, workloadName, res.Cycles, path, format)
 	return f.Sync()
+}
+
+// doInfo prints a trace file's header and per-chunk stats. For v2 this
+// reads only the footer index — constant work regardless of trace size;
+// v1 files have no index, so their records are scanned (not materialized)
+// for the same totals.
+func doInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	info, err := trace.ReadInfo(f, st.Size())
+	if err != nil {
+		var scanErr error
+		if info, scanErr = scanV1Info(f); scanErr != nil {
+			return fmt.Errorf("%w (and not a readable v1 trace: %v)", err, scanErr)
+		}
+	}
+	fmt.Printf("%s: format v%d, %d bytes\n", path, info.Version, st.Size())
+	fmt.Printf("  records: %d (%d reads, %d writes)\n", info.Records, info.Records-info.Writes, info.Writes)
+	fmt.Printf("  cycles:  %d .. %d (span %d)\n", info.FirstAt, info.LastAt, info.LastAt-info.FirstAt)
+	if info.Version == 2 {
+		fmt.Printf("  chunks:  %d\n", len(info.Chunks))
+		table := stats.NewTable("chunk", "offset", "bytes", "records", "writes", "first cycle", "span")
+		for i, c := range info.Chunks {
+			table.Row(i, c.Offset, c.Bytes, c.Count, c.Writes, c.FirstAt, c.LastAt-c.FirstAt)
+		}
+		fmt.Print(table.String())
+	}
+	return nil
+}
+
+// scanV1Info decodes a v1 trace sequentially to produce the same summary
+// the v2 footer stores.
+func scanV1Info(f *os.File) (*trace.Info, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	s, err := trace.Open(f)
+	if err != nil {
+		return nil, err
+	}
+	info := &trace.Info{Version: 1}
+	var rec trace.Record
+	for s.Next(&rec) {
+		if info.Records == 0 {
+			info.FirstAt = rec.At
+		}
+		info.LastAt = rec.At
+		info.Records++
+		if rec.Write {
+			info.Writes++
+		}
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return info, nil
 }
 
 func doReplay(path, schemeName, policyName string, compare, noskip bool, par int, lp lowPowerFlags) error {
@@ -165,11 +246,33 @@ func doReplay(path, schemeName, policyName string, compare, noskip bool, par int
 		return err
 	}
 	defer f.Close()
-	tr, err := trace.Load(f)
+
+	// Replays stream records straight off the file; each pass re-opens a
+	// decoding stream at the start, so -compare never holds the trace in
+	// memory either.
+	openStream := func() (trace.Stream, error) {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		return trace.Open(f)
+	}
+	s, err := openStream()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trace %s: %d requests\n\n", path, tr.Len())
+	count := int64(-1)
+	if sz, ok := s.(interface{ Remaining() int64 }); ok {
+		count = sz.Remaining()
+	} else if st, err := f.Stat(); err == nil {
+		if info, err := trace.ReadInfo(f, st.Size()); err == nil {
+			count = info.Records
+		}
+	}
+	if count >= 0 {
+		fmt.Printf("trace %s: %d requests\n\n", path, count)
+	} else {
+		fmt.Printf("trace %s\n\n", path)
+	}
 
 	replayOne := func(s memctrl.Scheme, p memctrl.Policy) (trace.ReplayResult, error) {
 		cfg := memctrl.DefaultConfig()
@@ -179,7 +282,11 @@ func doReplay(path, schemeName, policyName string, compare, noskip bool, par int
 			cfg.Mapping = memctrl.LineInterleaved
 		}
 		lp.applyCtrl(&cfg)
-		return trace.ReplayWith(tr, cfg, trace.ReplayOpts{NoSkip: noskip, Parallel: par})
+		stream, err := openStream()
+		if err != nil {
+			return trace.ReplayResult{}, err
+		}
+		return trace.ReplayStream(stream, cfg, trace.ReplayOpts{NoSkip: noskip, Parallel: par})
 	}
 
 	policy, err := pradram.ParsePolicy(policyName)

@@ -8,7 +8,11 @@
 // IEEE-754 bit-pattern floats, length-prefixed byte strings. Determinism
 // matters more than density — two checkpoints of identical simulator
 // state must be byte-identical, so components serialize map contents in
-// sorted key order and ring buffers in canonical rotation.
+// sorted key order and ring buffers in canonical rotation. The one
+// density concession is the Uvarint/Varint pair, added for the trace
+// format's footer index, whose per-chunk entries would otherwise dominate
+// small captures; varints are just as deterministic (one canonical
+// encoding per value, enforced on decode).
 //
 // The Reader carries a sticky error: every accessor returns the zero
 // value once any read has failed, so decode code can run straight through
@@ -84,6 +88,17 @@ func (w *Writer) Bool(v bool) {
 	} else {
 		w.U8(0)
 	}
+}
+
+// Uvarint writes v in the canonical unsigned LEB128 form used by
+// encoding/binary.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Varint writes v zig-zag encoded (encoding/binary's signed varint).
+func (w *Writer) Varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
 }
 
 // Count writes a collection length prefix.
@@ -187,6 +202,45 @@ func (r *Reader) Bool() bool {
 		r.Fail("bad bool byte %d", v)
 		return false
 	}
+}
+
+// Uvarint reads an unsigned varint. Over-long (non-canonical) encodings
+// and values overflowing 64 bits fail, so every value has exactly one
+// accepted byte form.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.Fail("bad uvarint at offset %d", r.off)
+		return 0
+	}
+	if n > 1 && r.buf[r.off+n-1] == 0 {
+		r.Fail("non-canonical uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a zig-zag signed varint with the same canonical-form
+// checks as Uvarint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.Fail("bad varint at offset %d", r.off)
+		return 0
+	}
+	if n > 1 && r.buf[r.off+n-1] == 0 {
+		r.Fail("non-canonical varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
 }
 
 // Count reads a collection length prefix and validates it against both

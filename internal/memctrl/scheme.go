@@ -107,6 +107,13 @@ const (
 	// provided as an extension for policy-sensitivity studies. Idle ranks
 	// still refresh, but rows are never closed speculatively, so
 	// precharge power-down only happens behind refreshes.
+	//
+	// Under OpenPage the activation count of a serialized access stream
+	// is analytically predictable: Config.MaxRowHits caps consecutive
+	// column accesses per activation (the auto-precharge fires with the
+	// capping access), so a run of L same-row accesses costs exactly
+	// ceil(L/MaxRowHits) activations — the closed form the tensor-stream
+	// oracle (internal/workload.TensorEpochActs) checks end to end.
 	OpenPage
 )
 

@@ -369,6 +369,7 @@ func Experiments() []Experiment {
 		{"powerband", "Calibrated power bands: min/nominal/max under each correction set", ExpPowerBand, keysPowerBand},
 		{"hammer", "RowHammer mitigation overhead: Alert/RFM under attack, PRA on/off", ExpHammer, keysHammer},
 		{"latbreak", "Latency attribution: per-component read-latency breakdown and tail percentiles", ExpLatBreak, keysLatBreak},
+		{"tensor", "Tensor loop permutations: analytic vs measured activation rate, locality vs power", ExpTensor, keysTensor},
 	}
 }
 

@@ -14,8 +14,8 @@ func tinyRunner() *Runner {
 func TestExperimentRegistry(t *testing.T) {
 	t.Parallel()
 	exps := Experiments()
-	if len(exps) != 21 {
-		t.Fatalf("have %d experiments, want 21", len(exps))
+	if len(exps) != 22 {
+		t.Fatalf("have %d experiments, want 22", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

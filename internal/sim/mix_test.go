@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"pradram/internal/memctrl"
+	"pradram/internal/obs"
+	"pradram/internal/trace"
+	"pradram/internal/workload"
+)
+
+// The multi-program mix determinism matrix (DESIGN.md §4j): custom
+// `name[:count]` co-run specs must behave exactly like every other
+// workload under the three equivalence contracts — sequential ==
+// parallel-in-time, captured traces byte-identical across drivers, and
+// streaming v2 replay bit-identical to materialized replay — plus carry
+// correct per-core attribution and survive warmup checkpointing.
+
+// mixCells spans the spec grammar: explicit counts, mixed count/no-count
+// entries, tensor streams co-running with benchmarks, and the 4-way
+// heterogeneous form.
+func mixCells() []string {
+	return []string{
+		"GUPS:2,LinkedList:2",
+		"TensorKCP,GUPS:2,lbm",
+		"mcf,em3d,GUPS,LinkedList",
+	}
+}
+
+func mixCfg(spec string) Config {
+	cfg := DefaultConfig(spec)
+	cfg.Cores = 4
+	cfg.InstrPerCore = 8_000
+	cfg.WarmupPerCore = 2_000
+	cfg.Capture = true
+	return cfg
+}
+
+// TestMixDeterminismMatrix is the seq==par==replay matrix over mix specs.
+func TestMixDeterminismMatrix(t *testing.T) {
+	t.Parallel()
+	for _, spec := range mixCells() {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			t.Parallel()
+			run := func(par int) (*System, Result) {
+				cfg := mixCfg(spec)
+				if spec == "TensorKCP,GUPS:2,lbm" {
+					// The tensor stream's dependent all-miss loads make
+					// simulated time expensive; a shorter window still
+					// exercises the co-run.
+					cfg.InstrPerCore = 2_000
+					cfg.WarmupPerCore = 500
+				}
+				cfg.Par = par
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s, r
+			}
+			seqSys, seqRes := run(0)
+			parSys, parRes := run(2)
+			if !reflect.DeepEqual(seqRes, parRes) {
+				t.Errorf("sequential and parallel mix results differ:\nseq: %+v\npar: %+v", seqRes, parRes)
+			}
+
+			// Per-core attribution: Apps mirrors the spec expansion and
+			// every core ran.
+			apps, err := workload.Set(spec, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seqRes.Apps, apps) {
+				t.Errorf("Result.Apps = %v, want %v", seqRes.Apps, apps)
+			}
+			if len(seqRes.CoreIPC) != 4 {
+				t.Fatalf("CoreIPC has %d entries, want 4", len(seqRes.CoreIPC))
+			}
+			for i, ipc := range seqRes.CoreIPC {
+				if ipc <= 0 {
+					t.Errorf("core %d (%s): IPC %v, want > 0", i, apps[i], ipc)
+				}
+			}
+
+			// The captured request streams must be byte-identical across
+			// drivers in both serializations.
+			seqTr, parTr := seqSys.Trace(), parSys.Trace()
+			var seqV1, parV1, seqV2 bytes.Buffer
+			if err := seqTr.Save(&seqV1); err != nil {
+				t.Fatal(err)
+			}
+			if err := parTr.Save(&parV1); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(seqV1.Bytes(), parV1.Bytes()) {
+				t.Error("captured traces differ between sequential and parallel drivers")
+			}
+			if err := seqTr.SaveV2(&seqV2); err != nil {
+				t.Fatal(err)
+			}
+
+			// Replay equivalence: materialized v1 replay == streaming v2
+			// replay, for the plain and parallel replay drivers.
+			for _, opt := range []trace.ReplayOpts{{}, {Parallel: 2}} {
+				want, err := trace.ReplayWith(seqTr, memctrl.DefaultConfig(), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := trace.Open(bytes.NewReader(seqV2.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := trace.ReplayStream(s, memctrl.DefaultConfig(), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("opt %+v: streaming replay of the mix capture diverged", opt)
+				}
+			}
+		})
+	}
+}
+
+// TestMixCheckpointIdentity proves custom mix specs compose with warmup
+// checkpointing: warmup → checkpoint → restore → measure equals a
+// monolithic run, and the canonicalized spec is what the fingerprint
+// carries (equivalent spellings interchange checkpoints).
+func TestMixCheckpointIdentity(t *testing.T) {
+	t.Parallel()
+	cfg := mixCfg("GUPS:2,LinkedList:2")
+	cfg.Capture = false
+	cfg.Obs = ObsConfig{EpochCycles: 512, EventLevel: obs.LevelCmd}
+	mono, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := mono.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := warmAndCheckpoint(t, cfg)
+	// Restore under an equivalent spelling of the same spec: the
+	// fingerprint stores the canonical form, so this must be accepted.
+	alt := cfg
+	alt.Workload = "gups:2, linkedlist:2"
+	restored, rr := restoreAndMeasure(t, alt, data)
+	checkIdentical(t, mono, restored, rm, rr)
+}

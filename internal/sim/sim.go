@@ -253,6 +253,10 @@ func New(cfg Config) (*System, error) {
 	if cfg.ActiveCores == 0 {
 		cfg.ActiveCores = cfg.Cores
 	}
+	// Normalize the workload spelling once, so Results, run keys, and
+	// checkpoint fingerprints agree across equivalent user spellings
+	// ("gups" vs "GUPS", mix specs with stray spaces).
+	cfg.Workload = workload.Canonical(cfg.Workload)
 
 	mcfg := memctrl.DefaultConfig()
 	mcfg.Scheme = cfg.Scheme

@@ -53,8 +53,22 @@ func Replay(t *Trace, cfg memctrl.Config) (ReplayResult, error) {
 	return ReplayWith(t, cfg, ReplayOpts{})
 }
 
-// ReplayWith is Replay with explicit driver options.
+// ReplayWith is Replay with explicit driver options. It is ReplayStream
+// over the materialized records; a replay that should not hold the whole
+// trace in memory passes Open's decoding stream to ReplayStream directly.
 func ReplayWith(t *Trace, cfg memctrl.Config, opt ReplayOpts) (ReplayResult, error) {
+	return ReplayStream(t.Stream(), cfg, opt)
+}
+
+// ReplayStream drives a replay from a Stream with a one-record lookahead
+// window instead of a materialized slice, so memory use is O(1) in trace
+// length and the only per-record work is the varint decode and the pooled
+// controller enqueue — the steady state allocates nothing per record
+// (enforced by TestReplayStreamAllocs and the -ingest benchgate). The
+// driver loop is the same tick/skip/backpressure automaton as the
+// original slice replay, so results are bit-identical to ReplayWith on
+// the same records regardless of which format they decode from.
+func ReplayStream(s Stream, cfg memctrl.Config, opt ReplayOpts) (ReplayResult, error) {
 	ctrl, err := memctrl.New(cfg)
 	if err != nil {
 		return ReplayResult{}, err
@@ -65,42 +79,55 @@ func ReplayWith(t *Trace, cfg memctrl.Config, opt ReplayOpts) (ReplayResult, err
 	}
 	var res ReplayResult
 	outstanding := 0
-	i := 0
+	done := core.Untagged(func(int64) { outstanding-- })
 	cycle := int64(0)
-	// A generous bound: replays are short, but a scheduling bug must not
-	// hang the caller. Like the sim run loop, it is spent in ticks
-	// executed so it stays meaningful under fast-forwarding.
-	last := int64(0)
-	if n := len(t.Records); n > 0 {
-		last = t.Records[n-1].At
+
+	// One-record lookahead: cur is the next record to issue (valid while
+	// have). Arrival times are non-decreasing (streams enforce it), so
+	// cur.At doubles as the arrival horizon for the skip loop.
+	var cur Record
+	have := s.Next(&cur)
+
+	// A generous stall bound: replays are short, but a scheduling bug must
+	// not hang the caller. The slice replay budgeted last-arrival plus
+	// 2000 ticks per record plus a flat 10M; streaming accumulates the
+	// same budget as records are read (it converges to the identical bound
+	// by end of stream, and only the error path observes it).
+	horizon := int64(0)
+	budget := int64(10_000_000)
+	if have {
+		horizon = cur.At
+		budget += 2000
 	}
-	maxTicks := last + int64(len(t.Records))*2000 + 10_000_000
 	ticks := int64(0)
 
-	for i < len(t.Records) || outstanding > 0 || ctrl.Pending() {
-		if ticks > maxTicks {
-			return res, fmt.Errorf("trace: replay stalled at cycle %d after %d executed ticks (%d records left, %d outstanding)",
-				cycle, ticks, len(t.Records)-i, outstanding)
+	for have || outstanding > 0 || ctrl.Pending() {
+		if ticks > horizon+budget {
+			return res, fmt.Errorf("trace: replay stalled at cycle %d after %d executed ticks (%d outstanding)",
+				cycle, ticks, outstanding)
 		}
 		ticks++
 		blocked := false
-		for i < len(t.Records) && t.Records[i].At <= cycle {
-			rec := t.Records[i]
-			if rec.Write {
-				if !ctrl.Write(rec.Addr, rec.Mask) {
+		for have && cur.At <= cycle {
+			if cur.Write {
+				if !ctrl.Write(cur.Addr, cur.Mask) {
 					blocked = true
 					break // queue full: retry next cycle (time slips)
 				}
 				res.Writes++
 			} else {
-				if !ctrl.Read(rec.Addr, core.Untagged(func(int64) { outstanding-- })) {
+				if !ctrl.Read(cur.Addr, done) {
 					blocked = true
 					break
 				}
 				outstanding++
 				res.Reads++
 			}
-			i++
+			have = s.Next(&cur)
+			if have {
+				horizon = cur.At
+				budget += 2000
+			}
 		}
 		ctrl.Tick(cycle)
 		cycle++
@@ -111,16 +138,19 @@ func ReplayWith(t *Trace, cfg memctrl.Config, opt ReplayOpts) (ReplayResult, err
 		// work has drained the loop is about to exit, and jumping (to the
 		// next refresh, say) would inflate the cycle count.
 		if !opt.NoSkip && !blocked &&
-			(i < len(t.Records) || outstanding > 0 || ctrl.Pending()) {
+			(have || outstanding > 0 || ctrl.Pending()) {
 			next := ctrl.NextEvent(cycle - 1)
-			if i < len(t.Records) && t.Records[i].At < next {
-				next = t.Records[i].At
+			if have && cur.At < next {
+				next = cur.At
 			}
 			if next > cycle {
 				ctrl.SkipTo(next)
 				cycle = next
 			}
 		}
+	}
+	if err := s.Err(); err != nil {
+		return res, fmt.Errorf("trace: replay decode: %w", err)
 	}
 	ctrl.CatchUp(cycle)
 	res.Cycles = cycle

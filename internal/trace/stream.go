@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pradram/internal/core"
+)
+
+// Stream is the iterator every replay and decode path consumes: Next
+// fills the caller's Record and reports whether one was produced, so a
+// well-behaved stream decodes millions of records without allocating.
+// After Next returns false, Err distinguishes end-of-stream (nil) from a
+// decode failure. Records arrive in non-decreasing At order — decoders
+// enforce it, so a corrupt input surfaces as an error, never as a
+// time-travelling request.
+type Stream interface {
+	Next(rec *Record) bool
+	Err() error
+}
+
+// Stream returns an in-memory Stream over the trace's records, the bridge
+// from the materialized representation to the streaming replay path.
+func (t *Trace) Stream() Stream { return &sliceStream{recs: t.Records} }
+
+// sliceStream iterates a materialized record slice.
+type sliceStream struct {
+	recs []Record
+	i    int
+}
+
+func (s *sliceStream) Next(rec *Record) bool {
+	if s.i >= len(s.recs) {
+		return false
+	}
+	*rec = s.recs[s.i]
+	s.i++
+	return true
+}
+
+func (s *sliceStream) Err() error { return nil }
+
+// Remaining reports how many records are left, a capacity hint for
+// materializing consumers.
+func (s *sliceStream) Remaining() int64 { return int64(len(s.recs) - s.i) }
+
+// Open sniffs the serialized format (v1 "PRA1" or v2 "PRA2") and returns
+// a decoding Stream over r. Decoding is incremental: records are produced
+// as bytes arrive, nothing is materialized, and v2 chunk CRCs are
+// verified as each chunk is entered. The stream owns a buffered reader
+// over r; the caller keeps ownership of r itself (closing files, etc.).
+func Open(r io.Reader) (Stream, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	m, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	switch {
+	case [4]byte(m) == magic:
+		br.Discard(4)
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading count: %w", err)
+		}
+		if count > maxStreamRecords {
+			return nil, fmt.Errorf("trace: implausible record count %d", count)
+		}
+		return &v1Stream{br: br, remaining: count}, nil
+	case [4]byte(m) == magicV2:
+		br.Discard(4)
+		return &v2Stream{r: br}, nil
+	default:
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+}
+
+// maxStreamRecords bounds the v1 header count (and any single v2 chunk)
+// against corrupt length prefixes about to drive giant allocations.
+const maxStreamRecords = 1 << 30
+
+// v1Stream decodes the v1 format progressively: a global record count,
+// then varint-delta records.
+type v1Stream struct {
+	br        *bufio.Reader
+	remaining uint64
+	at        int64
+	err       error
+}
+
+func (s *v1Stream) Err() error { return s.err }
+
+// Remaining reports how many records are left (the v1 header carries the
+// total), a capacity hint for materializing consumers.
+func (s *v1Stream) Remaining() int64 { return int64(s.remaining) }
+
+func (s *v1Stream) Next(rec *Record) bool {
+	if s.err != nil || s.remaining == 0 {
+		return false
+	}
+	delta, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		s.err = fmt.Errorf("trace: record time: %w", err)
+		return false
+	}
+	if delta > maxTimeDelta {
+		s.err = fmt.Errorf("trace: implausible time delta %d", delta)
+		return false
+	}
+	flag, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		s.err = fmt.Errorf("trace: record flag: %w", err)
+		return false
+	}
+	addr, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		s.err = fmt.Errorf("trace: record addr: %w", err)
+		return false
+	}
+	s.at += int64(delta)
+	rec.At = s.at
+	rec.Write = flag&1 != 0
+	rec.Addr = addr
+	rec.Mask = 0
+	if rec.Write {
+		mask, err := binary.ReadUvarint(s.br)
+		if err != nil {
+			s.err = fmt.Errorf("trace: record mask: %w", err)
+			return false
+		}
+		rec.Mask = core.ByteMask(mask)
+	}
+	s.remaining--
+	return true
+}
+
+// maxTimeDelta rejects time deltas that would overflow the cycle clock
+// when accumulated (corrupt varints decode to huge values long before a
+// legitimate capture spans 2^60 cycles).
+const maxTimeDelta = 1 << 60

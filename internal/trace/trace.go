@@ -4,7 +4,17 @@
 // feeds a recorded stream straight into a fresh memory controller, without
 // the CPU and cache layers, so scheme/policy what-ifs on an identical
 // request sequence run an order of magnitude faster than full simulation.
-// Traces serialize to a compact varint-delta binary format.
+//
+// Two serializations exist (DESIGN.md §4j). The legacy v1 format ("PRA1")
+// is a flat varint-delta record stream; the default v2 format ("PRA2")
+// frames the same records into CRC-guarded chunks with a footer index, so
+// a reader can print totals without decoding (ReadInfo), seek to any
+// chunk through an io.ReaderAt (V2File.StreamAt), and detect truncation
+// or corruption instead of silently mis-decoding. Both formats decode
+// through the Stream interface (Open sniffs the magic), and ReplayStream
+// drives a replay straight off a Stream — constant memory, zero
+// steady-state allocations per record — while Replay/Load keep the
+// materialized path for callers that need Trace.Records in hand.
 package trace
 
 import (
@@ -35,10 +45,30 @@ func (t *Trace) Len() int { return len(t.Records) }
 // magic identifies the serialized format.
 var magic = [4]byte{'P', 'R', 'A', '1'}
 
-// Save writes the trace in the binary format: magic, count, then per
+// checkOrdered validates the time ordering every serializer requires.
+// Both Save and SaveV2 run it before writing a single byte, so an
+// unordered trace fails cleanly instead of aborting mid-write and leaving
+// a torn output file behind.
+func (t *Trace) checkOrdered() error {
+	prev := int64(0)
+	for _, r := range t.Records {
+		if r.At < prev {
+			return fmt.Errorf("trace: records not time-ordered at cycle %d", r.At)
+		}
+		prev = r.At
+	}
+	return nil
+}
+
+// Save writes the trace in the v1 binary format: magic, count, then per
 // record a varint time delta, a flag byte, a varint address, and (for
-// writes) the byte mask.
+// writes) the byte mask. New captures should prefer SaveV2 (v2.go), which
+// adds chunk framing, CRCs, and a seek index; Save remains for tools that
+// interoperate with existing v1 traces.
 func (t *Trace) Save(w io.Writer) error {
+	if err := t.checkOrdered(); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
@@ -54,9 +84,6 @@ func (t *Trace) Save(w io.Writer) error {
 	}
 	prev := int64(0)
 	for _, r := range t.Records {
-		if r.At < prev {
-			return fmt.Errorf("trace: records not time-ordered at cycle %d", r.At)
-		}
 		if err := put(uint64(r.At - prev)); err != nil {
 			return err
 		}
@@ -80,49 +107,25 @@ func (t *Trace) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a trace written by Save.
+// Load reads a trace written by Save (v1) or SaveV2 (v2) — the magic
+// selects the decoder — and materializes every record. Replays that do
+// not need the whole stream in memory should use Open and ReplayStream
+// instead.
 func Load(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if m != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", m)
-	}
-	count, err := binary.ReadUvarint(br)
+	s, err := Open(r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
+		return nil, err
 	}
-	const maxRecords = 1 << 30
-	if count > maxRecords {
-		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	t := &Trace{}
+	if sz, ok := s.(interface{ Remaining() int64 }); ok {
+		t.Records = make([]Record, 0, sz.Remaining())
 	}
-	t := &Trace{Records: make([]Record, 0, count)}
-	at := int64(0)
-	for i := uint64(0); i < count; i++ {
-		delta, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d time: %w", i, err)
-		}
-		at += int64(delta)
-		flag, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d flag: %w", i, err)
-		}
-		addr, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
-		}
-		rec := Record{At: at, Write: flag&1 != 0, Addr: addr}
-		if rec.Write {
-			mask, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("trace: record %d mask: %w", i, err)
-			}
-			rec.Mask = core.ByteMask(mask)
-		}
+	var rec Record
+	for s.Next(&rec) {
 		t.Records = append(t.Records, rec)
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -244,10 +244,19 @@ func Names() []string {
 // flags don't require the paper's exact capitalization. Unknown names are
 // returned unchanged for the caller's own error path.
 func Canonical(name string) string {
+	if strings.ContainsAny(name, ":,") {
+		if entries, err := parseMixSpec(name); err == nil {
+			return renderMixSpec(entries)
+		}
+		return name
+	}
 	if _, ok := benchmarks[name]; ok {
 		return name
 	}
 	if _, ok := hammers[name]; ok {
+		return name
+	}
+	if _, ok := tensors[name]; ok {
 		return name
 	}
 	if _, ok := Mixes[name]; ok {
@@ -263,6 +272,11 @@ func Canonical(name string) string {
 			return n
 		}
 	}
+	for n := range tensors {
+		if strings.EqualFold(n, name) {
+			return n
+		}
+	}
 	for n := range Mixes {
 		if strings.EqualFold(n, name) {
 			return n
@@ -271,14 +285,18 @@ func Canonical(name string) string {
 	return name
 }
 
-// New builds the named benchmark or hammer generator.
+// New builds the named benchmark, hammer, or tensor generator.
 func New(name string, coreID int, seed uint64, region Region) (cpu.Generator, error) {
 	mk, ok := benchmarks[Canonical(name)]
 	if !ok {
 		mk, ok = hammers[Canonical(name)]
 	}
 	if !ok {
-		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, append(Names(), HammerNames()...))
+		mk, ok = tensors[Canonical(name)]
+	}
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name,
+			append(append(Names(), HammerNames()...), TensorNames()...))
 	}
 	if region.Bytes < 1<<24 {
 		return nil, fmt.Errorf("workload: region too small (%d bytes); need at least 16MB", region.Bytes)
@@ -301,22 +319,99 @@ func MixNames() []string {
 	return []string{"MIX1", "MIX2", "MIX3", "MIX4", "MIX5", "MIX6"}
 }
 
-// Set resolves a workload-set name to one benchmark per core: a benchmark
-// or hammer name yields n identical instances (the paper's "four identical
-// instances of single-threaded applications"); a MIXn name yields Table 4's
-// combination.
+// soloMaker reports whether name (already canonical) resolves to a
+// single-core generator in any registry.
+func soloMaker(name string) bool {
+	if _, ok := benchmarks[name]; ok {
+		return true
+	}
+	if _, ok := hammers[name]; ok {
+		return true
+	}
+	_, ok := tensors[name]
+	return ok
+}
+
+// mixEntry is one parsed component of a custom mix spec.
+type mixEntry struct {
+	name  string
+	count int
+}
+
+// parseMixSpec parses a SPEC-rate-style co-run spec — comma-separated
+// `name[:count]` entries, e.g. "gups:2,linkedlist:2" — into canonical
+// entries. Every name must be a single-core generator (benchmark, hammer,
+// or tensor); nesting mixes is rejected.
+func parseMixSpec(spec string) ([]mixEntry, error) {
+	parts := strings.Split(spec, ",")
+	entries := make([]mixEntry, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		name, countStr, hasCount := strings.Cut(part, ":")
+		e := mixEntry{name: Canonical(strings.TrimSpace(name)), count: 1}
+		if !soloMaker(e.name) {
+			return nil, fmt.Errorf("workload: mix component %q is not a benchmark, hammer, or tensor generator", name)
+		}
+		if hasCount {
+			n, err := fmt.Sscanf(strings.TrimSpace(countStr), "%d", &e.count)
+			if n != 1 || err != nil || e.count < 1 || e.count > 1024 {
+				return nil, fmt.Errorf("workload: bad instance count %q in mix spec %q", countStr, spec)
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// renderMixSpec is parseMixSpec's inverse: the one canonical spelling of
+// a custom mix (":1" elided), so run keys and warmup fingerprints are
+// stable across equivalent user spellings.
+func renderMixSpec(entries []mixEntry) string {
+	var b strings.Builder
+	for i, e := range entries {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(e.name)
+		if e.count != 1 {
+			fmt.Fprintf(&b, ":%d", e.count)
+		}
+	}
+	return b.String()
+}
+
+// Set resolves a workload-set name to one benchmark per core: a
+// benchmark, hammer, or tensor name yields n identical instances (the
+// paper's "four identical instances of single-threaded applications"); a
+// MIXn name yields Table 4's combination; a custom `name[:count],...`
+// spec assigns workloads per core in order, and its instance counts must
+// sum to exactly the core count.
 func Set(name string, cores int) ([]string, error) {
 	name = Canonical(name)
+	if strings.ContainsAny(name, ":,") {
+		entries, err := parseMixSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		apps := make([]string, 0, cores)
+		for _, e := range entries {
+			for i := 0; i < e.count; i++ {
+				apps = append(apps, e.name)
+			}
+		}
+		if len(apps) != cores {
+			return nil, fmt.Errorf("workload: mix spec %q names %d instances, have %d cores", name, len(apps), cores)
+		}
+		return apps, nil
+	}
 	if apps, ok := Mixes[name]; ok {
 		if cores != len(apps) {
 			return nil, fmt.Errorf("workload: mix %s needs %d cores, have %d", name, len(apps), cores)
 		}
 		return apps, nil
 	}
-	if _, okB := benchmarks[name]; !okB {
-		if _, okH := hammers[name]; !okH {
-			return nil, fmt.Errorf("workload: unknown workload set %q (have %v)", name, SetNames())
-		}
+	if !soloMaker(name) {
+		return nil, fmt.Errorf("workload: unknown workload set %q (have %v)", name, SetNames())
 	}
 	apps := make([]string, cores)
 	for i := range apps {
@@ -326,9 +421,11 @@ func Set(name string, cores int) ([]string, error) {
 }
 
 // SetNames returns all runnable workload-set names, regenerated from the
-// registries: 8 benchmarks (x4 instances) + 4 hammer patterns + 6 mixes.
+// registries: 8 benchmarks (x4 instances) + 4 hammer patterns + 3 tensor
+// streams + 6 mixes. Custom `name[:count],...` specs compose any of the
+// single-core names.
 func SetNames() []string {
-	return append(append(Names(), HammerNames()...), MixNames()...)
+	return append(append(append(Names(), HammerNames()...), TensorNames()...), MixNames()...)
 }
 
 func mixSeed(name string, coreID int, seed uint64) uint64 {

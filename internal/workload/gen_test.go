@@ -249,8 +249,8 @@ func TestMixesAndSets(t *testing.T) {
 	if _, err := Set("nosuch", 4); err == nil {
 		t.Error("unknown set must error")
 	}
-	if got := len(SetNames()); got != 18 {
-		t.Errorf("SetNames() has %d entries, want 18 (8 benchmarks + 4 hammers + 6 mixes)", got)
+	if got := len(SetNames()); got != 21 {
+		t.Errorf("SetNames() has %d entries, want 21 (8 benchmarks + 4 hammers + 3 tensors + 6 mixes)", got)
 	}
 	// The Set error message enumerates the registry, not a stale list.
 	if _, err := Set("nosuch", 4); err == nil || !strings.Contains(err.Error(), "HammerSingle") {

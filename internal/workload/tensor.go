@@ -1,0 +1,274 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"pradram/internal/cpu"
+)
+
+// Tensor/conv streaming generators (DESIGN.md §4j). A convolution kernel
+// walks a three-deep loop nest over output channels (K), input channels
+// (C), and output pixels (P); each step touches one element of the weight
+// tensor W[k][c], the input tensor I[c][p], and the output tensor O[k][p].
+// The *loop permutation* decides row locality: a tensor whose row index is
+// untouched by the innermost loop enjoys long same-row runs, while one
+// indexed by it conflicts on every access — the loop-order/DRAM-locality
+// interaction that accelerator mappers optimize.
+//
+// Like the hammer family, these generators are built for analytic
+// predictability rather than realism, and they extend the oracle idea
+// from "per-row activation counts" to "activation counts as a function of
+// loop order":
+//
+//   - each tensor lives in its own bank (channel 0, rank 0), so a bank's
+//     row sequence is exactly that tensor's access subsequence;
+//   - every access is a dependent load, so requests reach DRAM in program
+//     order;
+//   - the column of each access is the loop index that does NOT appear in
+//     the tensor's row (always < 128, the lines-per-row geometry), so
+//     every (row, col) line of an epoch is touched exactly once — a
+//     compulsory cache miss with nothing for any cache level to reuse;
+//   - each epoch (one full loop nest) shifts all rows by tensorRowBlock,
+//     so lines stay unique across tensorEpochs epochs before the row
+//     space wraps.
+//
+// Under those invariants, and an open-page policy with a row-hit cap
+// (memctrl's OpenPage + MaxRowHits), a same-row run of length L costs
+// exactly ceil(L/cap) activations, which closes the form: activations
+// per epoch = segments x ceil(segLen/cap) per tensor, where the segment
+// structure falls out of the loop permutation (TensorEpochActs). The
+// oracle tests drive the full CPU→cache→controller→DRAM stack and demand
+// the simulated counters equal the closed form exactly.
+//
+// Bank assignment is (3*coreID + tensor) mod 8, so cores 0 and 1 use
+// disjoint bank triples; the single-bank-per-tensor invariant (and with
+// it the oracle) holds for up to 2 concurrent tensor cores.
+
+const (
+	// tensorK/C/P are the preset loop bounds: small enough that one epoch
+	// is quick to simulate, sized so every per-tensor row count (K*C=24,
+	// C*P=60, K*P=40) fits a tensorRowBlock and every column index
+	// (max 10) fits a row's 128 lines.
+	tensorK = 4
+	tensorC = 6
+	tensorP = 10
+
+	// tensorRowBlock is the per-epoch row shift: a power of two no smaller
+	// than the largest per-tensor row count, so epochs never overlap rows.
+	tensorRowBlock = 64
+)
+
+// TensorSpec fixes one conv workload: the loop bounds and the nest order.
+type TensorSpec struct {
+	Order   string // loop nest outer→inner, a permutation of "KCP"
+	K, C, P int
+}
+
+// dim returns the loop bound of dimension letter d.
+func (sp TensorSpec) dim(d byte) int {
+	switch d {
+	case 'K':
+		return sp.K
+	case 'C':
+		return sp.C
+	case 'P':
+		return sp.P
+	}
+	panic("workload: bad tensor dim " + string(d))
+}
+
+// StepsPerEpoch returns the loop-nest trip count.
+func (sp TensorSpec) StepsPerEpoch() int { return sp.K * sp.C * sp.P }
+
+// indices decomposes a step counter into the (k, c, p) loop indices under
+// the spec's nest order (an odometer: inner loop fastest).
+func (sp TensorSpec) indices(step uint64) (k, c, p int) {
+	n0 := sp.dim(sp.Order[0])
+	n1 := sp.dim(sp.Order[1])
+	n2 := sp.dim(sp.Order[2])
+	r := int(step % uint64(n0*n1*n2))
+	iv := [3]int{r / (n1 * n2), r / n2 % n1, r % n2}
+	out := map[byte]int{sp.Order[0]: iv[0], sp.Order[1]: iv[1], sp.Order[2]: iv[2]}
+	return out['K'], out['C'], out['P']
+}
+
+// tensorRow returns tensor t's region-relative row (before the epoch
+// shift) and column for loop indices (k, c, p). Tensors are indexed
+// 0 = W[k][c], 1 = I[c][p], 2 = O[k][p]; the column is always the loop
+// index absent from the row, which is what makes every line of an epoch
+// unique.
+func (sp TensorSpec) tensorRow(t, k, c, p int) (row, col int) {
+	switch t {
+	case 0:
+		return k*sp.C + c, p
+	case 1:
+		return c*sp.P + p, k
+	case 2:
+		return k*sp.P + p, c
+	}
+	panic("workload: bad tensor index")
+}
+
+// tensorBank returns the bank tensor t of a core streams into.
+func tensorBank(coreID, t int) int { return (3*coreID + t) % 8 }
+
+// tensorEpochs returns how many epochs fit the region's row space before
+// row indices wrap (and line reuse begins).
+func tensorEpochs(region Region) uint64 {
+	return (region.Bytes >> 18) / tensorRowBlock
+}
+
+// access returns the (bank, region-relative row, column) of the t-th
+// access of the given step, epoch shift included. The generator and the
+// analytic walk both call this — they cannot disagree on the stream.
+func (sp TensorSpec) access(region Region, coreID int, step uint64, t int) (bank, row, col int) {
+	k, c, p := sp.indices(step)
+	row, col = sp.tensorRow(t, k, c, p)
+	epoch := step / uint64(sp.StepsPerEpoch()) % tensorEpochs(region)
+	return tensorBank(coreID, t), int(epoch)*tensorRowBlock + row, col
+}
+
+// newTensorGen builds the streaming generator for one core: each step
+// emits its three dependent loads (W, I, O in program order) at the
+// addresses access() dictates. regs[0]: step counter.
+func newTensorGen(name string, sp TensorSpec, coreID int, seed uint64, region Region) cpu.Generator {
+	g := newVisitGen(name, NewRNG(mixSeed(name, coreID, seed)), 1)
+	g.visit = func(g *visitGen) {
+		for b := 0; b < 8; b++ { // batch size is invisible to the op stream
+			s := g.regs[0]
+			for t := 0; t < 3; t++ {
+				bank, row, col := sp.access(region, coreID, s, t)
+				g.loadDep(hammerAddr(region.Base, bank, row, col))
+			}
+			g.regs[0] = s + 1
+		}
+	}
+	return g
+}
+
+// tensorSpecs are the preset loop permutations. The names read
+// outer→inner: TensorKCP streams pixels innermost (W rows stay put for
+// P-long runs), TensorPKC streams input channels innermost (O rows stay
+// put), TensorCPK streams output channels innermost (I rows stay put) —
+// three distinct row-locality profiles over identical work.
+var tensorSpecs = map[string]TensorSpec{
+	"TensorKCP": {Order: "KCP", K: tensorK, C: tensorC, P: tensorP},
+	"TensorPKC": {Order: "PKC", K: tensorK, C: tensorC, P: tensorP},
+	"TensorCPK": {Order: "CPK", K: tensorK, C: tensorC, P: tensorP},
+}
+
+// tensors is the generator registry, separate from benchmarks (Names()
+// keeps meaning the paper's calibrated 8) and from hammers, mirroring how
+// the hammer family is wired into New/Canonical/Set.
+var tensors = func() map[string]Maker {
+	m := make(map[string]Maker, len(tensorSpecs))
+	for name, sp := range tensorSpecs {
+		name, sp := name, sp
+		m[name] = func(coreID int, seed uint64, region Region) cpu.Generator {
+			return newTensorGen(name, sp, coreID, seed, region)
+		}
+	}
+	return m
+}()
+
+// TensorNames returns the tensor generator names in sorted order.
+func TensorNames() []string {
+	names := make([]string, 0, len(tensors))
+	for n := range tensors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TensorSpecFor returns the spec behind a tensor generator name.
+func TensorSpecFor(name string) (TensorSpec, error) {
+	sp, ok := tensorSpecs[Canonical(name)]
+	if !ok {
+		return TensorSpec{}, fmt.Errorf("workload: unknown tensor generator %q (have %v)", name, TensorNames())
+	}
+	return sp, nil
+}
+
+// TensorTarget reports where a core's tensor streams land: always rank 0,
+// banks[t] for tensor t, with region-relative row 0 at absolute row
+// rowBase — the confinement the oracle tests verify through the real
+// address mapper.
+func TensorTarget(coreID int, region Region) (rank int, banks [3]int, rowBase int) {
+	return 0, [3]int{tensorBank(coreID, 0), tensorBank(coreID, 1), tensorBank(coreID, 2)}, int(region.Base >> 18)
+}
+
+// ceilDiv returns ceil(a/b).
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// TensorEpochActs returns the closed-form row activations per epoch under
+// an open-page policy with a same-row hit cap: per tensor, the epoch's
+// access sequence splits into segments of constant row — one segment per
+// setting of the loops down to the innermost row-relevant one — and a
+// segment of length L costs ceil(L/cap) activations. perTensor is indexed
+// W, I, O.
+func TensorEpochActs(name string, cap int) (total int64, perTensor [3]int64, err error) {
+	sp, err := TensorSpecFor(name)
+	if err != nil {
+		return 0, perTensor, err
+	}
+	for t := 0; t < 3; t++ {
+		irrelevant := [3]byte{'P', 'K', 'C'}[t] // the dim absent from tensor t's row
+		jR := 2
+		if sp.Order[2] == irrelevant {
+			jR = 1 // inner loop leaves the row alone: runs of length n2
+		}
+		segments, segLen := int64(1), int64(1)
+		for i := 0; i <= jR; i++ {
+			segments *= int64(sp.dim(sp.Order[i]))
+		}
+		for i := jR + 1; i < 3; i++ {
+			segLen *= int64(sp.dim(sp.Order[i]))
+		}
+		perTensor[t] = segments * ceilDiv(segLen, int64(cap))
+		total += perTensor[t]
+	}
+	return total, perTensor, nil
+}
+
+// TensorRow keys a per-row activation count: the absolute row index of
+// one bank.
+type TensorRow struct {
+	Bank, Row int
+}
+
+// TensorCounts returns the exact per-(bank, row) activation counts of a
+// tensor generator's access stream up to the point where it has emitted
+// totalActs activations — the analytic oracle. The caller reads totalActs
+// off the simulated counter tables; because the stream is deterministic
+// and every access reaches DRAM in program order, matching the total
+// pins down a unique stream position, and the per-row breakdown must then
+// agree row for row. cap is the controller's same-row hit cap
+// (memctrl MaxRowHits); the walk mirrors its auto-precharge exactly: a
+// row access either extends an open run (hits < cap) or activates.
+func TensorCounts(name string, coreID int, region Region, cap int, totalActs int64) (map[TensorRow]int64, error) {
+	sp, err := TensorSpecFor(name)
+	if err != nil {
+		return nil, err
+	}
+	_, _, rowBase := TensorTarget(coreID, region)
+	counts := map[TensorRow]int64{}
+	open := map[int]int{} // bank -> open row (region-relative)
+	hits := map[int]int{} // bank -> column accesses since its last ACT
+	emitted := int64(0)
+	for step := uint64(0); emitted < totalActs; step++ {
+		for t := 0; t < 3 && emitted < totalActs; t++ {
+			bank, row, _ := sp.access(region, coreID, step, t)
+			if r, ok := open[bank]; ok && r == row && hits[bank] < cap {
+				hits[bank]++
+				continue
+			}
+			counts[TensorRow{Bank: bank, Row: rowBase + row}]++
+			open[bank] = row
+			hits[bank] = 1
+			emitted++
+		}
+	}
+	return counts, nil
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"testing"
+
+	"pradram/internal/cpu"
+)
+
+func tensorTestRegion() Region { return Region{Base: 0, Bytes: 1 << 30} }
+
+// emulateEpochActs replays the access stream for whole epochs with an
+// independent open-row model and counts activations — a brute-force check
+// of the closed form (it shares only access() with the oracle, which is
+// the point: the stream is the contract).
+func emulateEpochActs(t *testing.T, name string, cap int, epochs int) int64 {
+	t.Helper()
+	sp, err := TensorSpecFor(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := tensorTestRegion()
+	open := map[int]int{}
+	hits := map[int]int{}
+	acts := int64(0)
+	for step := uint64(0); step < uint64(sp.StepsPerEpoch()*epochs); step++ {
+		for tn := 0; tn < 3; tn++ {
+			bank, row, col := sp.access(region, 0, step, tn)
+			if col < 0 || col >= 128 {
+				t.Fatalf("%s step %d: column %d outside a row", name, step, col)
+			}
+			if r, ok := open[bank]; ok && r == row && hits[bank] < cap {
+				hits[bank]++
+				continue
+			}
+			open[bank] = row
+			hits[bank] = 1
+			acts++
+		}
+	}
+	return acts
+}
+
+func TestTensorEpochActsClosedForm(t *testing.T) {
+	const cap = 4
+	totals := map[string]int64{}
+	for _, name := range TensorNames() {
+		total, per, err := TensorEpochActs(name, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := per[0] + per[1] + per[2]; got != total {
+			t.Errorf("%s: per-tensor %v does not sum to total %d", name, per, total)
+		}
+		// Multi-epoch emulation: the closed form must scale linearly
+		// (epoch shifts put each epoch on fresh rows, so no cross-epoch
+		// row reuse perturbs the count).
+		for _, epochs := range []int{1, 3} {
+			if got := emulateEpochActs(t, name, cap, epochs); got != total*int64(epochs) {
+				t.Errorf("%s: emulated %d acts over %d epochs, closed form %d",
+					name, got, epochs, total*int64(epochs))
+			}
+		}
+		totals[name] = total
+	}
+	// The permutations must have genuinely different row locality.
+	if totals["TensorKCP"] == totals["TensorPKC"] || totals["TensorKCP"] == totals["TensorCPK"] ||
+		totals["TensorPKC"] == totals["TensorCPK"] {
+		t.Errorf("permutation totals not pairwise distinct: %v", totals)
+	}
+}
+
+// TestTensorCountsMatchEmulation cross-checks the oracle walk against the
+// independent emulator at an awkward stopping point (mid-epoch,
+// mid-step).
+func TestTensorCountsMatchEmulation(t *testing.T) {
+	const cap = 4
+	region := tensorTestRegion()
+	for _, name := range TensorNames() {
+		total, _, err := TensorEpochActs(name, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := total + total/3 // stops partway through the second epoch
+		counts, err := TensorCounts(name, 0, region, cap, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := int64(0)
+		_, banks, rowBase := TensorTarget(0, region)
+		bankSet := map[int]bool{banks[0]: true, banks[1]: true, banks[2]: true}
+		for k, v := range counts {
+			sum += v
+			if !bankSet[k.Bank] {
+				t.Errorf("%s: activation in unexpected bank %d", name, k.Bank)
+			}
+			if k.Row < rowBase || k.Row >= rowBase+2*tensorRowBlock {
+				t.Errorf("%s: row %d outside the first two epoch blocks", name, k.Row)
+			}
+		}
+		if sum != target {
+			t.Errorf("%s: counts sum to %d, want %d", name, sum, target)
+		}
+	}
+}
+
+// TestTensorGeneratorEmitsOracleStream pulls ops straight off the
+// generator and requires them to be exactly the dependent loads access()
+// predicts — the generator and the analytic oracle cannot drift apart.
+func TestTensorGeneratorEmitsOracleStream(t *testing.T) {
+	region := tensorTestRegion()
+	for _, name := range TensorNames() {
+		sp, err := TensorSpecFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := New(name, 0, 1, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var op cpu.Op
+		for step := uint64(0); step < uint64(sp.StepsPerEpoch()+5); step++ {
+			for tn := 0; tn < 3; tn++ {
+				gen.Next(&op)
+				bank, row, col := sp.access(region, 0, step, tn)
+				want := hammerAddr(region.Base, bank, row, col)
+				if op.Kind != cpu.Load || !op.Dep || op.Addr != want {
+					t.Fatalf("%s step %d tensor %d: op %+v, want dep load at %#x",
+						name, step, tn, op, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMixSpecParsing(t *testing.T) {
+	apps, err := Set("gups:2,linkedlist:2", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"GUPS", "GUPS", "LinkedList", "LinkedList"}
+	for i := range want {
+		if apps[i] != want[i] {
+			t.Fatalf("apps = %v, want %v", apps, want)
+		}
+	}
+	if got := Canonical("gups:2, linkedlist :2"); got != "GUPS:2,LinkedList:2" {
+		t.Errorf("Canonical = %q", got)
+	}
+	if got := Canonical("tensorkcp,GUPS:3"); got != "TensorKCP,GUPS:3" {
+		t.Errorf("Canonical = %q", got)
+	}
+	if _, err := Set("gups:2,linkedlist", 4); err == nil {
+		t.Error("count mismatch (3 instances, 4 cores) must error")
+	}
+	if _, err := Set("gups:0,linkedlist:4", 4); err == nil {
+		t.Error("zero instance count must error")
+	}
+	if _, err := Set("MIX1:2,gups:2", 4); err == nil {
+		t.Error("nesting a MIX inside a spec must error")
+	}
+	if _, err := Set("nosuch:4", 4); err == nil {
+		t.Error("unknown component must error")
+	}
+	// Unparseable specs pass through Canonical unchanged (the error
+	// surfaces in Set).
+	if got := Canonical("nosuch:4"); got != "nosuch:4" {
+		t.Errorf("Canonical(%q) = %q", "nosuch:4", got)
+	}
+}

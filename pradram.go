@@ -210,8 +210,13 @@ func Mixes() []string { return workload.MixNames() }
 // Hammers lists the adversarial RowHammer workload generators.
 func Hammers() []string { return workload.HammerNames() }
 
+// Tensors lists the tensor/conv streaming generators (loop permutations
+// with analytically predictable row locality).
+func Tensors() []string { return workload.TensorNames() }
+
 // WorkloadSets lists every runnable workload set (benchmarks + hammers +
-// mixes).
+// tensors + mixes). Custom SPEC-rate-style co-runs compose any of the
+// single-core names as "name[:count],..." (e.g. "GUPS:2,LinkedList:2").
 func WorkloadSets() []string { return workload.SetNames() }
 
 // Experiments returns the paper's tables and figures in paper order.

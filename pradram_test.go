@@ -29,14 +29,17 @@ func TestPublicAPIListings(t *testing.T) {
 	if len(pradram.Mixes()) != 6 {
 		t.Errorf("mixes = %v, want 6", pradram.Mixes())
 	}
-	if len(pradram.WorkloadSets()) != 18 {
-		t.Errorf("sets = %v, want 18", pradram.WorkloadSets())
+	if len(pradram.WorkloadSets()) != 21 {
+		t.Errorf("sets = %v, want 21", pradram.WorkloadSets())
 	}
 	if len(pradram.Hammers()) != 4 {
 		t.Errorf("hammers = %v, want 4", pradram.Hammers())
 	}
-	if len(pradram.Experiments()) != 21 {
-		t.Errorf("experiments = %d, want 21", len(pradram.Experiments()))
+	if len(pradram.Tensors()) != 3 {
+		t.Errorf("tensors = %v, want 3", pradram.Tensors())
+	}
+	if len(pradram.Experiments()) != 22 {
+		t.Errorf("experiments = %d, want 22", len(pradram.Experiments()))
 	}
 }
 

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+)
+
+// The -ingest gate guards the workload-ingestion path (DESIGN.md §4j):
+// the chunked v2 trace decoder and the streaming replay loop. Unlike the
+// other gates, both invariants here are absolute rather than ratios —
+// they are contracts of the format and the replay path, not relative
+// speeds:
+//
+//   - the v2 decoder must sustain at least ingestFloorRecPerSec records
+//     per second (the "millions of requests per second" contract; the
+//     floor sits >10x under the development-time measurement so host
+//     variation cannot flake it, while still catching an accidental
+//     per-record allocation or a quadratic buffer pattern), and
+//   - the streaming replay loop must run at zero steady-state heap
+//     allocations per record — the benchmark replays ingestBenchTime
+//     records in one ReplayStream call, so one-time setup (controller,
+//     queues) amortizes below one allocation per op and any per-record
+//     allocation shows up as allocs/op >= 1.
+
+const (
+	// ingestFloorRecPerSec is the decode-throughput floor: 2M records/s,
+	// i.e. at most 500 ns/op on the per-record decode benchmark.
+	// Development-time measurement: ~37 ns/op (~27M rec/s).
+	ingestFloorRecPerSec = 2_000_000
+
+	// ingestBenchTime fixes -benchtime so every repetition decodes (and
+	// replays) the same record count: long enough to amortize setup under
+	// one alloc/op, short enough to keep the gate fast.
+	ingestBenchTime = "300000x"
+
+	ingestDecodeV2 = "BenchmarkIngestDecodeV2"
+	ingestDecodeV1 = "BenchmarkIngestDecodeV1"
+	ingestReplay   = "BenchmarkIngestReplayStream"
+)
+
+type ingestReport struct {
+	DecodeV2NsOp    float64 `json:"decode_v2_ns_op"`
+	DecodeV2MRecS   float64 `json:"decode_v2_mrec_per_sec"`
+	DecodeV1NsOp    float64 `json:"decode_v1_ns_op"`
+	ReplayNsOp      float64 `json:"replay_stream_ns_op"`
+	ReplayAllocsOp  int64   `json:"replay_stream_allocs_op"`
+	DecodeFloorRecS float64 `json:"decode_floor_rec_per_sec"`
+	AllocCeil       int64   `json:"replay_allocs_op_ceiling"`
+	Count           int     `json:"count"`
+	Pass            bool    `json:"pass"`
+}
+
+// ingestLine also captures the -benchmem columns the shared benchLine
+// ignores: "BenchmarkX-8  300000  37.34 ns/op  0 B/op  0 allocs/op".
+var ingestLine = regexp.MustCompile(`(?m)^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9]+) allocs/op)?`)
+
+// runIngestBench runs the ingestion benchmarks with -benchmem at the
+// fixed benchtime and returns minimum ns/op and allocs/op per benchmark.
+func runIngestBench(count int) (map[string]float64, map[string]int64) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "BenchmarkIngest", "-benchtime", ingestBenchTime, "-benchmem",
+		"-count", strconv.Itoa(count), "./internal/trace")
+	raw, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: benchmark run failed: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+	ns := map[string]float64{}
+	allocs := map[string]int64{}
+	for _, m := range ingestLine.FindAllStringSubmatch(string(raw), -1) {
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if cur, ok := ns[m[1]]; !ok || v < cur {
+			ns[m[1]] = v
+		}
+		if m[3] != "" {
+			a, err := strconv.ParseInt(m[3], 10, 64)
+			if err != nil {
+				continue
+			}
+			if cur, ok := allocs[m[1]]; !ok || a < cur {
+				allocs[m[1]] = a
+			}
+		}
+	}
+	return ns, allocs
+}
+
+func runIngest(out string, count int) {
+	ns, allocs := runIngestBench(count)
+	for _, n := range []string{ingestDecodeV2, ingestDecodeV1, ingestReplay} {
+		if _, ok := ns[n]; !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: missing benchmark %s (parsed %v)\n", n, ns)
+			os.Exit(1)
+		}
+	}
+	replayAllocs, ok := allocs[ingestReplay]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchgate: no allocs/op for %s (is -benchmem being dropped?)\n", ingestReplay)
+		os.Exit(1)
+	}
+	rep := ingestReport{
+		DecodeV2NsOp:    ns[ingestDecodeV2],
+		DecodeV2MRecS:   1e3 / ns[ingestDecodeV2],
+		DecodeV1NsOp:    ns[ingestDecodeV1],
+		ReplayNsOp:      ns[ingestReplay],
+		ReplayAllocsOp:  replayAllocs,
+		DecodeFloorRecS: ingestFloorRecPerSec,
+		AllocCeil:       0,
+		Count:           count,
+	}
+	rep.Pass = rep.DecodeV2NsOp <= 1e9/ingestFloorRecPerSec && replayAllocs == 0
+	writeReport(out, rep)
+	fmt.Printf("benchgate: v2 decode %.1f ns/op (%.1f Mrec/s, floor %.1f); v1 decode %.1f ns/op; replay %.0f ns/op, %d allocs/op (ceiling 0) -> %s\n",
+		rep.DecodeV2NsOp, rep.DecodeV2MRecS, float64(ingestFloorRecPerSec)/1e6,
+		rep.DecodeV1NsOp, rep.ReplayNsOp, replayAllocs,
+		map[bool]string{true: "PASS", false: "FAIL"}[rep.Pass])
+	if !rep.Pass {
+		fmt.Fprintln(os.Stderr, "benchgate: ingestion gate failed: either the v2 decoder fell under the records/sec floor, or the streaming replay loop allocates per record")
+		os.Exit(1)
+	}
+}

@@ -66,7 +66,13 @@
 // in the report); the one-channel pair gates the degenerate-case
 // overhead ceiling unconditionally. Measurements go to BENCH_pdes.json.
 //
-// Usage: go run ./tools/benchgate [-speed|-warm|-power|-hammer|-lat|-pdes] [-out FILE] [-count 5]
+// -ingest switches to the workload-ingestion gate (ingest.go): the v2
+// trace decoder must sustain the records/sec floor and the streaming
+// replay loop must run at zero steady-state allocations per record.
+// These are absolute contracts of the format, not host-relative ratios.
+// Measurements go to BENCH_ingest.json.
+//
+// Usage: go run ./tools/benchgate [-speed|-warm|-power|-hammer|-lat|-pdes|-ingest] [-out FILE] [-count 5]
 package main
 
 import (
@@ -188,18 +194,19 @@ func main() {
 	hammer := flag.Bool("hammer", false, "run the RowHammer mitigation-overhead gate instead of the telemetry-overhead gate")
 	lat := flag.Bool("lat", false, "run the latency-attribution overhead gate instead of the telemetry-overhead gate")
 	pdes := flag.Bool("pdes", false, "run the parallel-in-time ticking gate instead of the telemetry-overhead gate")
-	out := flag.String("out", "", "where to write the measurement report (default BENCH_obs.json; BENCH_speed.json with -speed; BENCH_warm.json with -warm; BENCH_power.json with -power; BENCH_hammer.json with -hammer; BENCH_lat.json with -lat; BENCH_pdes.json with -pdes)")
+	ingest := flag.Bool("ingest", false, "run the workload-ingestion gate (v2 decode throughput, zero-alloc streaming replay) instead of the telemetry-overhead gate")
+	out := flag.String("out", "", "where to write the measurement report (default BENCH_obs.json; BENCH_speed.json with -speed; BENCH_warm.json with -warm; BENCH_power.json with -power; BENCH_hammer.json with -hammer; BENCH_lat.json with -lat; BENCH_pdes.json with -pdes; BENCH_ingest.json with -ingest)")
 	count := flag.Int("count", 5, "benchmark repetitions (minimum is kept)")
 	updatePower, golden := powerFlags()
 	flag.Parse()
 	modes := 0
-	for _, m := range []bool{*speed, *warm, *pwr, *hammer, *lat, *pdes} {
+	for _, m := range []bool{*speed, *warm, *pwr, *hammer, *lat, *pdes, *ingest} {
 		if m {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "benchgate: -speed, -warm, -power, -hammer, -lat, and -pdes are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "benchgate: -speed, -warm, -power, -hammer, -lat, -pdes, and -ingest are mutually exclusive")
 		os.Exit(1)
 	}
 	if *out == "" {
@@ -216,6 +223,8 @@ func main() {
 			*out = "BENCH_lat.json"
 		case *pdes:
 			*out = "BENCH_pdes.json"
+		case *ingest:
+			*out = "BENCH_ingest.json"
 		default:
 			*out = "BENCH_obs.json"
 		}
@@ -233,6 +242,8 @@ func main() {
 		runLat(*out, *count)
 	case *pdes:
 		runPdes(*out, *count)
+	case *ingest:
+		runIngest(*out, *count)
 	default:
 		runObs(*out, *count)
 	}
